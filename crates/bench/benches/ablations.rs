@@ -1,0 +1,107 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. **Smoothing window** — APP with SMA ∈ {1, 3, 5, 9, 15}: larger
+//!    windows keep reducing pointwise noise but blur stream features
+//!    (the paper fixes 3).
+//! 2. **Deviation feedback** — none (SW-direct) vs last-only (IPP) vs
+//!    accumulated (APP), isolating the dual-utilization idea itself.
+//! 3. **Sample count n_s** — sweep n_s for a fixed query and compare the
+//!    optimizer's pick against the best observed.
+//!
+//! Run: `cargo bench -p ldp-bench --bench ablations` (scale with
+//! `LDP_TRIALS`).
+
+use ldp_core::{optimal_sample_count, App, Ipp, PpKind, Sampling, StreamMechanism};
+use ldp_baselines::SwDirect;
+use ldp_metrics::{cosine_distance, mse, Summary};
+use ldp_streams::synthetic::volume;
+use rand::SeedableRng;
+
+fn trials() -> usize {
+    std::env::var("LDP_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40)
+}
+
+fn trial_metrics(
+    algo: &dyn StreamMechanism,
+    xs: &[f64],
+    n: usize,
+    seed: u64,
+) -> (f64, f64, f64) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let truth_mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    let (mut mean_sq, mut point, mut cosine) = (Summary::new(), Summary::new(), Summary::new());
+    for _ in 0..n {
+        let out = algo.publish(xs, &mut rng);
+        let m = out.iter().sum::<f64>() / out.len() as f64;
+        mean_sq.add((m - truth_mean) * (m - truth_mean));
+        point.add(mse(&out, xs));
+        cosine.add(cosine_distance(&out, xs));
+    }
+    (mean_sq.mean(), point.mean(), cosine.mean())
+}
+
+fn smoothing_ablation(xs: &[f64], n: usize) {
+    println!("## Ablation 1 — SMA window (APP, ε = 1, w = 10)\n");
+    println!("| window | mean MSE | pointwise MSE | cosine distance |");
+    println!("|---|---|---|---|");
+    for window in [0usize, 3, 5, 9, 15] {
+        let app = App::new(1.0, 10).unwrap().with_smoothing(window);
+        let (m, p, c) = trial_metrics(&app, xs, n, 1000 + window as u64);
+        println!("| {window} | {m:.4e} | {p:.4e} | {c:.4e} |");
+    }
+    println!();
+}
+
+fn feedback_ablation(xs: &[f64], n: usize) {
+    println!("## Ablation 2 — deviation feedback (ε = 1, w = 10, no smoothing)\n");
+    println!("| feedback | mean MSE | pointwise MSE | cosine distance |");
+    println!("|---|---|---|---|");
+    let arms: Vec<(&str, Box<dyn StreamMechanism>)> = vec![
+        ("none (SW-direct)", Box::new(SwDirect::new(1.0, 10).unwrap())),
+        ("last only (IPP)", Box::new(Ipp::new(1.0, 10).unwrap())),
+        (
+            "accumulated (APP)",
+            Box::new(App::new(1.0, 10).unwrap().with_smoothing(0)),
+        ),
+    ];
+    for (name, algo) in &arms {
+        let (m, p, c) = trial_metrics(algo.as_ref(), xs, n, 2000);
+        println!("| {name} | {m:.4e} | {p:.4e} | {c:.4e} |");
+    }
+    println!();
+}
+
+fn sample_count_ablation(xs: &[f64], n: usize) {
+    let (eps, w) = (3.0, 20);
+    let q = xs.len();
+    println!("## Ablation 3 — sample count n_s (APP-S, ε = {eps}, w = {w}, q = {q})\n");
+    println!("| n_s | mean MSE | cosine distance |");
+    println!("|---|---|---|");
+    let picked = optimal_sample_count(eps, w, q);
+    for ns in [1usize, 2, 3, 5, 10, 15, 30] {
+        if ns > q {
+            continue;
+        }
+        let algo = Sampling::new(PpKind::App, eps, w)
+            .unwrap()
+            .with_sample_count(ns);
+        let (m, _, c) = trial_metrics(&algo, xs, n, 3000 + ns as u64);
+        let marker = if ns == picked { " ← optimizer pick" } else { "" };
+        println!("| {ns}{marker} | {m:.4e} | {c:.4e} |");
+    }
+    println!();
+}
+
+fn main() {
+    let n = trials();
+    eprintln!("# ablations: trials={n}");
+    let stream = volume(2_000, 77);
+    // Fixed 30-slot query window for ablations 1–2, full slice for 3.
+    let query = &stream.values()[100..130];
+    smoothing_ablation(query, n);
+    feedback_ablation(query, n);
+    sample_count_ablation(&stream.values()[200..230], n);
+}

@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks: whole-stream publication cost of every
+//! algorithm on a 1,000-slot stream, plus the PP-S segment-count optimizer.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ldp_baselines::{BaSw, NaiveSampling, SwDirect, ToPL};
+use ldp_core::{optimal_sample_count, App, Capp, Ipp, PpKind, Sampling, StreamMechanism};
+use ldp_streams::synthetic::volume;
+use rand::SeedableRng;
+
+const STREAM_LEN: usize = 1_000;
+const EPSILON: f64 = 1.0;
+const W: usize = 10;
+
+fn bench_publish(c: &mut Criterion) {
+    let stream = volume(STREAM_LEN, 3);
+    let xs = stream.values();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let mut group = c.benchmark_group("publish_1k");
+
+    let algos: Vec<(&str, Box<dyn StreamMechanism>)> = vec![
+        ("sw_direct", Box::new(SwDirect::new(EPSILON, W).unwrap())),
+        ("ipp", Box::new(Ipp::new(EPSILON, W).unwrap())),
+        ("app", Box::new(App::new(EPSILON, W).unwrap())),
+        ("capp", Box::new(Capp::new(EPSILON, W).unwrap())),
+        ("ba_sw", Box::new(BaSw::new(EPSILON, W).unwrap())),
+        ("topl", Box::new(ToPL::new(EPSILON, W).unwrap())),
+        (
+            "naive_sampling",
+            Box::new(NaiveSampling::new(EPSILON, W).unwrap()),
+        ),
+        (
+            "capp_sampling",
+            Box::new(Sampling::new(PpKind::Capp, EPSILON, W).unwrap()),
+        ),
+    ];
+    for (name, algo) in &algos {
+        group.bench_function(*name, |b| {
+            b.iter(|| black_box(algo.publish(black_box(xs), &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_optimizers(c: &mut Criterion) {
+    c.bench_function("optimal_sample_count_q40", |b| {
+        b.iter(|| black_box(optimal_sample_count(black_box(1.0), 20, 40)))
+    });
+    c.bench_function("capp_clip_bounds", |b| {
+        b.iter(|| black_box(ldp_core::ClipBounds::recommended(black_box(0.05)).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_publish, bench_optimizers);
+criterion_main!(benches);

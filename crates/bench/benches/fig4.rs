@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig4 through the experiment harness.
+//! Run: `cargo bench -p ldp-bench --bench fig4` (scale with LDP_TRIALS / LDP_QUICK=1).
+
+fn main() {
+    ldp_bench::run_artifact("fig4");
+}

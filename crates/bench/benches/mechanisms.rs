@@ -1,0 +1,47 @@
+//! Criterion micro-benchmarks: per-value perturbation cost of each
+//! mechanism, and the SW moment computations used by the optimizers.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ldp_mechanisms::{
+    Hybrid, Laplace, Mechanism, Piecewise, SquareWave, StochasticRounding,
+};
+use rand::SeedableRng;
+
+fn bench_perturb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perturb");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let sw = SquareWave::new(1.0).unwrap();
+    group.bench_function("square_wave", |b| {
+        b.iter(|| black_box(sw.perturb(black_box(0.42), &mut rng)))
+    });
+    let lap = Laplace::new(1.0).unwrap();
+    group.bench_function("laplace", |b| {
+        b.iter(|| black_box(lap.perturb(black_box(0.42), &mut rng)))
+    });
+    let sr = StochasticRounding::new(1.0).unwrap();
+    group.bench_function("stochastic_rounding", |b| {
+        b.iter(|| black_box(sr.perturb(black_box(0.42), &mut rng)))
+    });
+    let pm = Piecewise::new(1.0).unwrap();
+    group.bench_function("piecewise", |b| {
+        b.iter(|| black_box(pm.perturb(black_box(0.42), &mut rng)))
+    });
+    let hm = Hybrid::new(1.0).unwrap();
+    group.bench_function("hybrid", |b| {
+        b.iter(|| black_box(hm.perturb(black_box(0.42), &mut rng)))
+    });
+    group.finish();
+}
+
+fn bench_moments(c: &mut Criterion) {
+    let sw = SquareWave::new(0.1).unwrap();
+    c.bench_function("sw_fourth_central_moment", |b| {
+        b.iter(|| black_box(sw.fourth_central_moment(black_box(1.0))))
+    });
+    c.bench_function("sw_construction", |b| {
+        b.iter(|| black_box(SquareWave::new(black_box(0.73)).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_perturb, bench_moments);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Benchmark support crate.
+//!
+//! Two kinds of bench targets live here:
+//!
+//! * **Criterion micro-benchmarks** (`mechanisms`, `algorithms`) measuring
+//!   the per-value cost of each LDP mechanism and the per-stream cost of
+//!   each publication algorithm.
+//! * **Artifact benches** (`table1`, `fig4` … `fig11`): `harness = false`
+//!   targets that regenerate the corresponding paper table/figure through
+//!   `ldp-experiments` and print the rows/series. Scale them with
+//!   `LDP_TRIALS` / `LDP_QUICK=1`.
+
+/// Runs one artifact by name and prints it; shared by the artifact benches.
+pub fn run_artifact(name: &str) {
+    let cfg = ldp_experiments::ExperimentConfig::from_env();
+    eprintln!(
+        "# {name}: trials={} crowd_users={} seed={:#x}",
+        cfg.trials, cfg.crowd_users, cfg.seed
+    );
+    let out = ldp_experiments::artifacts::run(name, &cfg)
+        .unwrap_or_else(|| panic!("unknown artifact {name}"));
+    println!("{out}");
+}

@@ -1,0 +1,155 @@
+//! A w-event privacy accountant: a ledger of per-slot budget spends with
+//! sliding-window verification.
+//!
+//! The algorithms in this crate spend budget according to fixed schedules
+//! (`ε/w` per slot; `ε/n_w` per upload slot for PP-S). The accountant makes
+//! those schedules explicit and lets tests assert Definition 3's
+//! requirement: the spend inside *every* window of `w` slots sums to at
+//! most ε.
+
+/// Ledger of per-time-slot privacy spends.
+#[derive(Debug, Clone)]
+pub struct WEventAccountant {
+    w: usize,
+    budget: f64,
+    spends: Vec<f64>,
+}
+
+impl WEventAccountant {
+    /// Creates an accountant for window size `w` and window budget `budget`.
+    ///
+    /// # Panics
+    /// Panics if `w == 0` or the budget is not positive and finite.
+    #[must_use]
+    pub fn new(w: usize, budget: f64) -> Self {
+        assert!(w > 0, "window size must be positive");
+        assert!(budget.is_finite() && budget > 0.0, "budget must be positive");
+        Self {
+            w,
+            budget,
+            spends: Vec::new(),
+        }
+    }
+
+    /// Window size `w`.
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.w
+    }
+
+    /// Total budget allowed inside any window.
+    #[must_use]
+    pub fn budget(&self) -> f64 {
+        self.budget
+    }
+
+    /// Records the spend of the next time slot (0 for slots with no report).
+    pub fn record(&mut self, epsilon: f64) {
+        assert!(epsilon >= 0.0 && epsilon.is_finite(), "invalid spend");
+        self.spends.push(epsilon);
+    }
+
+    /// Number of recorded slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.spends.len()
+    }
+
+    /// Whether no slot has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.spends.is_empty()
+    }
+
+    /// The largest spend over any window of `w` consecutive slots
+    /// (windows shorter than `w` at the stream tail are included — their
+    /// spend is dominated by some full window anyway).
+    #[must_use]
+    pub fn max_window_spend(&self) -> f64 {
+        if self.spends.is_empty() {
+            return 0.0;
+        }
+        let mut best = 0.0f64;
+        let mut sum = 0.0f64;
+        for i in 0..self.spends.len() {
+            sum += self.spends[i];
+            if i >= self.w {
+                sum -= self.spends[i - self.w];
+            }
+            best = best.max(sum);
+        }
+        best
+    }
+
+    /// Whether every window respects the budget (with a small floating-
+    /// point tolerance).
+    #[must_use]
+    pub fn satisfies_w_event(&self) -> bool {
+        self.max_window_spend() <= self.budget * (1.0 + 1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_slot_spend_exactly_fills_budget() {
+        let mut acc = WEventAccountant::new(10, 1.0);
+        for _ in 0..100 {
+            acc.record(0.1);
+        }
+        assert!((acc.max_window_spend() - 1.0).abs() < 1e-12);
+        assert!(acc.satisfies_w_event());
+    }
+
+    #[test]
+    fn overspend_is_detected() {
+        let mut acc = WEventAccountant::new(5, 1.0);
+        for _ in 0..5 {
+            acc.record(0.25); // 5 × 0.25 = 1.25 > 1
+        }
+        assert!(!acc.satisfies_w_event());
+    }
+
+    #[test]
+    fn sparse_uploads_with_full_budget_are_fine() {
+        // Upload every 5 slots with the full window budget, w = 5.
+        let mut acc = WEventAccountant::new(5, 1.0);
+        for t in 0..50 {
+            acc.record(if t % 5 == 0 { 1.0 } else { 0.0 });
+        }
+        assert!(acc.satisfies_w_event());
+        assert!((acc.max_window_spend() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dense_uploads_with_full_budget_violate() {
+        let mut acc = WEventAccountant::new(5, 1.0);
+        for t in 0..50 {
+            acc.record(if t % 2 == 0 { 1.0 } else { 0.0 });
+        }
+        assert!(!acc.satisfies_w_event());
+    }
+
+    #[test]
+    fn empty_ledger_is_trivially_satisfied() {
+        let acc = WEventAccountant::new(3, 0.5);
+        assert!(acc.is_empty());
+        assert_eq!(acc.max_window_spend(), 0.0);
+        assert!(acc.satisfies_w_event());
+    }
+
+    #[test]
+    #[should_panic(expected = "window size must be positive")]
+    fn zero_window_panics() {
+        let _ = WEventAccountant::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid spend")]
+    fn negative_spend_panics() {
+        let mut acc = WEventAccountant::new(2, 1.0);
+        acc.record(-0.1);
+    }
+}

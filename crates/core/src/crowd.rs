@@ -1,0 +1,126 @@
+//! Crowd-level statistics (paper §IV-C "Crowd-level statistics" and
+//! Theorem 5, evaluated in Figure 8).
+//!
+//! The collector first estimates each user's subsequence mean from that
+//! user's privately published stream, then studies the *distribution* of
+//! those per-user means across the population. Theorem 5 (a DKW-style
+//! argument) shows that if every individual estimate is within β of its
+//! true value, the empirical distribution of estimates converges uniformly
+//! to the true mean distribution — so better individual estimators yield
+//! better crowd-level characterizations.
+
+use crate::publisher::StreamMechanism;
+use ldp_streams::Population;
+use rand::RngCore;
+use std::ops::Range;
+
+/// Per-user estimated subsequence means: runs `algo` independently on each
+/// user's subsequence and returns the published means.
+///
+/// # Panics
+/// Panics if `range` is out of bounds for any user.
+#[must_use]
+pub fn estimated_population_means(
+    population: &Population,
+    range: Range<usize>,
+    algo: &dyn StreamMechanism,
+    rng: &mut dyn RngCore,
+) -> Vec<f64> {
+    population
+        .iter()
+        .map(|user| algo.estimate_mean(user.subsequence(range.clone()), rng))
+        .collect()
+}
+
+/// Ground-truth per-user subsequence means (no privacy).
+#[must_use]
+pub fn true_population_means(population: &Population, range: Range<usize>) -> Vec<f64> {
+    population.subsequence_means(range)
+}
+
+/// The sample-size bound of Theorem 5: with per-user error ≤ β, target
+/// uniform CDF error η > β and confidence 1 − δ, it suffices that
+/// `N ≥ ln(2/δ) / (2(η − β)²)`.
+///
+/// # Panics
+/// Panics unless `0 < β < η` and `0 < δ < 1`.
+#[must_use]
+pub fn required_sample_size(beta: f64, eta: f64, delta: f64) -> usize {
+    assert!(beta >= 0.0 && eta > beta, "need 0 ≤ β < η");
+    assert!(delta > 0.0 && delta < 1.0, "need δ ∈ (0,1)");
+    ((2.0 / delta).ln() / (2.0 * (eta - beta) * (eta - beta))).ceil() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_streams::synthetic::taxi_population;
+    use rand::{RngCore, SeedableRng};
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    /// Identity "mechanism" for plumbing tests.
+    struct Identity;
+    impl StreamMechanism for Identity {
+        fn publish(&self, xs: &[f64], _rng: &mut dyn RngCore) -> Vec<f64> {
+            xs.to_vec()
+        }
+        fn name(&self) -> &'static str {
+            "identity"
+        }
+    }
+
+    #[test]
+    fn identity_recovers_true_means() {
+        let pop = taxi_population(20, 50, 1);
+        let est = estimated_population_means(&pop, 10..40, &Identity, &mut rng(1));
+        let truth = true_population_means(&pop, 10..40);
+        for (a, b) in est.iter().zip(&truth) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn private_means_approach_truth_with_budget() {
+        let pop = taxi_population(150, 60, 2);
+        let range = 0..30;
+        let truth = true_population_means(&pop, range.clone());
+        let lo = crate::App::new(0.3, 30).unwrap();
+        let hi = crate::App::new(30.0, 30).unwrap();
+        let mut r = rng(3);
+        let d_lo = ldp_metrics::wasserstein_sorted(
+            &estimated_population_means(&pop, range.clone(), &lo, &mut r),
+            &truth,
+        );
+        let d_hi = ldp_metrics::wasserstein_sorted(
+            &estimated_population_means(&pop, range, &hi, &mut r),
+            &truth,
+        );
+        assert!(
+            d_hi < d_lo,
+            "more budget should shrink the crowd distance: {d_hi} vs {d_lo}"
+        );
+    }
+
+    #[test]
+    fn theorem5_bound_monotonicity() {
+        // Tighter target η ⇒ more samples; higher confidence ⇒ more samples.
+        let base = required_sample_size(0.05, 0.1, 0.05);
+        assert!(required_sample_size(0.05, 0.08, 0.05) > base);
+        assert!(required_sample_size(0.05, 0.1, 0.01) > base);
+    }
+
+    #[test]
+    fn theorem5_known_value() {
+        // N ≥ ln(2/0.05) / (2·0.05²) = ln(40)/0.005 ≈ 737.8 → 738.
+        assert_eq!(required_sample_size(0.05, 0.1, 0.05), 738);
+    }
+
+    #[test]
+    #[should_panic(expected = "need 0 ≤ β < η")]
+    fn theorem5_rejects_eta_below_beta() {
+        let _ = required_sample_size(0.2, 0.1, 0.05);
+    }
+}

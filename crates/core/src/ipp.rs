@@ -1,0 +1,161 @@
+//! Iterative Perturbation Parameterization (IPP, paper §III-C).
+//!
+//! The strawman dual-utilization algorithm: at slot `t` the user perturbs
+//! `clip(x_t + d_{t−1}, [0,1])` where `d_{t−1} = x_{t−1} − x'_{t−1}` is the
+//! deviation of the *previous* report. Lemma III.1 shows this always
+//! achieves lower mean deviation than perturbing `x_t` directly.
+
+use crate::publisher::StreamMechanism;
+use crate::Result;
+use ldp_mechanisms::{Domain, Mechanism, SquareWave};
+use rand::RngCore;
+
+/// The IPP algorithm over the Square Wave mechanism.
+#[derive(Debug, Clone, Copy)]
+pub struct Ipp {
+    sw: SquareWave,
+    slot_epsilon: f64,
+}
+
+impl Ipp {
+    /// Creates IPP with total window budget `epsilon` and window size `w`;
+    /// each slot is perturbed with `ε/w` (w-event accounting, Theorem 3).
+    ///
+    /// # Errors
+    /// Returns an error if `epsilon` is invalid or `w == 0`.
+    pub fn new(epsilon: f64, w: usize) -> Result<Self> {
+        if w == 0 {
+            return Err(ldp_mechanisms::MechanismError::InvalidEpsilon(0.0));
+        }
+        Self::with_slot_budget(epsilon / w as f64)
+    }
+
+    /// Creates IPP spending exactly `slot_epsilon` on every slot.
+    ///
+    /// # Errors
+    /// Returns an error for an invalid budget.
+    pub fn with_slot_budget(slot_epsilon: f64) -> Result<Self> {
+        Ok(Self {
+            sw: SquareWave::new(slot_epsilon)?,
+            slot_epsilon,
+        })
+    }
+
+    /// Per-slot privacy budget.
+    #[must_use]
+    pub fn slot_epsilon(&self) -> f64 {
+        self.slot_epsilon
+    }
+
+    /// The underlying SW instance.
+    #[must_use]
+    pub fn mechanism(&self) -> &SquareWave {
+        &self.sw
+    }
+}
+
+impl StreamMechanism for Ipp {
+    fn publish(&self, xs: &[f64], rng: &mut dyn RngCore) -> Vec<f64> {
+        let mut prev_dev = 0.0;
+        xs.iter()
+            .map(|&x| {
+                let input = Domain::UNIT.clip(x + prev_dev);
+                let reported = self.sw.perturb(input, rng);
+                prev_dev = x - reported;
+                reported
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "IPP"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn rejects_zero_window() {
+        assert!(Ipp::new(1.0, 0).is_err());
+    }
+
+    #[test]
+    fn slot_budget_is_total_over_w() {
+        let ipp = Ipp::new(3.0, 10).unwrap();
+        assert!((ipp.slot_epsilon() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn output_length_matches_input() {
+        let ipp = Ipp::new(2.0, 5).unwrap();
+        let xs = vec![0.5; 37];
+        assert_eq!(ipp.publish(&xs, &mut rng(1)).len(), 37);
+    }
+
+    #[test]
+    fn outputs_lie_in_sw_output_domain() {
+        let ipp = Ipp::new(1.0, 10).unwrap();
+        let dom = ipp.mechanism().output_domain();
+        let xs: Vec<f64> = (0..200).map(|i| (i % 10) as f64 / 10.0).collect();
+        for y in ipp.publish(&xs, &mut rng(2)) {
+            assert!(dom.contains(y));
+        }
+    }
+
+    #[test]
+    fn empty_stream_publishes_empty() {
+        let ipp = Ipp::new(1.0, 5).unwrap();
+        assert!(ipp.publish(&[], &mut rng(3)).is_empty());
+    }
+
+    #[test]
+    fn mean_estimation_beats_direct_sw_on_average() {
+        // Lemma III.1: IPP's mean deviation is below direct SW's.
+        let eps = 1.0;
+        let w = 20;
+        let xs: Vec<f64> = (0..w).map(|i| 0.3 + 0.4 * (i as f64 / 5.0).sin().abs()).collect();
+        let truth = xs.iter().sum::<f64>() / xs.len() as f64;
+        let ipp = Ipp::new(eps, w).unwrap();
+        let sw = SquareWave::new(eps / w as f64).unwrap();
+        let mut r = rng(4);
+        let trials = 400;
+        let (mut err_ipp, mut err_sw) = (0.0, 0.0);
+        for _ in 0..trials {
+            let pub_ipp = ipp.publish(&xs, &mut r);
+            let m_ipp = pub_ipp.iter().sum::<f64>() / w as f64;
+            err_ipp += (m_ipp - truth).powi(2);
+            let pub_sw: Vec<f64> = xs.iter().map(|&x| sw.perturb(x, &mut r)).collect();
+            let m_sw = pub_sw.iter().sum::<f64>() / w as f64;
+            err_sw += (m_sw - truth).powi(2);
+        }
+        assert!(
+            err_ipp < err_sw,
+            "IPP MSE {} should beat SW-direct {}",
+            err_ipp / trials as f64,
+            err_sw / trials as f64
+        );
+    }
+
+    #[test]
+    fn deviation_feedback_changes_inputs() {
+        // With feedback, successive perturbations are correlated with past
+        // outputs; verify the published stream is not identical to a direct
+        // SW run with the same RNG stream (sanity that feedback is active).
+        let ipp = Ipp::new(1.0, 4).unwrap();
+        let sw = SquareWave::new(0.25).unwrap();
+        let xs = vec![0.5; 50];
+        let a = ipp.publish(&xs, &mut rng(7));
+        let b: Vec<f64> = {
+            let mut r = rng(7);
+            xs.iter().map(|&x| sw.perturb(x, &mut r)).collect()
+        };
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,235 @@
+//! Online (slot-at-a-time) publication sessions.
+//!
+//! The batch [`crate::StreamMechanism`] API fits experiments; real
+//! deployments receive values one at a time and must emit a report
+//! immediately. [`OnlineSession`] carries the deviation state across
+//! calls, so a device can run
+//!
+//! ```
+//! use ldp_core::online::OnlineSession;
+//! use rand::SeedableRng;
+//!
+//! let mut session = OnlineSession::capp(2.0, 24).unwrap();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! for reading in [0.31, 0.35, 0.33] {
+//!     let report = session.report(reading, &mut rng);
+//!     assert!(report.is_finite());
+//! }
+//! assert_eq!(session.slots_published(), 3);
+//! ```
+//!
+//! indefinitely while retaining the w-event guarantee (every slot spends
+//! `ε/w`, so any window of `w` totals ε).
+
+use crate::accountant::WEventAccountant;
+use crate::capp::ClipBounds;
+use crate::Result;
+use ldp_mechanisms::{Domain, Mechanism, MechanismError, SquareWave};
+use rand::RngCore;
+
+/// Which feedback rule the session applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Feedback {
+    /// No feedback (SW-direct).
+    None,
+    /// Previous deviation only (IPP).
+    Last,
+    /// Accumulated deviation, clipped to `[0,1]` (APP).
+    Accumulated,
+    /// Accumulated deviation with a tuned clip range (CAPP).
+    Clipped,
+}
+
+/// A stateful, slot-at-a-time publication session.
+#[derive(Debug, Clone)]
+pub struct OnlineSession {
+    sw: SquareWave,
+    feedback: Feedback,
+    bounds: ClipBounds,
+    deviation: f64,
+    accountant: WEventAccountant,
+}
+
+impl OnlineSession {
+    fn new(epsilon: f64, w: usize, feedback: Feedback) -> Result<Self> {
+        if w == 0 || !(epsilon.is_finite() && epsilon > 0.0) {
+            return Err(MechanismError::InvalidEpsilon(epsilon));
+        }
+        let slot = epsilon / w as f64;
+        Ok(Self {
+            sw: SquareWave::new(slot)?,
+            feedback,
+            bounds: ClipBounds::recommended(slot)?,
+            deviation: 0.0,
+            accountant: WEventAccountant::new(w, epsilon),
+        })
+    }
+
+    /// SW-direct session (no feedback) — baseline behaviour.
+    ///
+    /// # Errors
+    /// Returns an error for invalid `(epsilon, w)`.
+    pub fn sw_direct(epsilon: f64, w: usize) -> Result<Self> {
+        Self::new(epsilon, w, Feedback::None)
+    }
+
+    /// IPP session (last-deviation feedback).
+    ///
+    /// # Errors
+    /// Returns an error for invalid `(epsilon, w)`.
+    pub fn ipp(epsilon: f64, w: usize) -> Result<Self> {
+        Self::new(epsilon, w, Feedback::Last)
+    }
+
+    /// APP session (accumulated-deviation feedback).
+    ///
+    /// # Errors
+    /// Returns an error for invalid `(epsilon, w)`.
+    pub fn app(epsilon: f64, w: usize) -> Result<Self> {
+        Self::new(epsilon, w, Feedback::Accumulated)
+    }
+
+    /// CAPP session (accumulated feedback with the recommended clip range).
+    ///
+    /// # Errors
+    /// Returns an error for invalid `(epsilon, w)`.
+    pub fn capp(epsilon: f64, w: usize) -> Result<Self> {
+        Self::new(epsilon, w, Feedback::Clipped)
+    }
+
+    /// Per-slot privacy budget.
+    #[must_use]
+    pub fn slot_epsilon(&self) -> f64 {
+        self.sw.epsilon()
+    }
+
+    /// Number of slots reported so far.
+    #[must_use]
+    pub fn slots_published(&self) -> usize {
+        self.accountant.len()
+    }
+
+    /// The session's spend ledger (for audits).
+    #[must_use]
+    pub fn accountant(&self) -> &WEventAccountant {
+        &self.accountant
+    }
+
+    /// Current accumulated deviation (0 for SW-direct).
+    #[must_use]
+    pub fn pending_deviation(&self) -> f64 {
+        self.deviation
+    }
+
+    /// Perturbs and reports one value, updating the feedback state and the
+    /// budget ledger.
+    pub fn report(&mut self, x: f64, rng: &mut dyn RngCore) -> f64 {
+        let reported = match self.feedback {
+            Feedback::None => self.sw.perturb(x, rng),
+            Feedback::Last | Feedback::Accumulated => {
+                let input = Domain::UNIT.clip(x + self.deviation);
+                let y = self.sw.perturb(input, rng);
+                match self.feedback {
+                    Feedback::Last => self.deviation = x - y,
+                    _ => self.deviation += x - y,
+                }
+                y
+            }
+            Feedback::Clipped => {
+                let dom = Domain::new(self.bounds.l(), self.bounds.u())
+                    .expect("bounds validated");
+                let clipped = dom.clip(x + self.deviation);
+                let y = dom.denormalize(self.sw.perturb(dom.normalize(clipped), rng));
+                self.deviation += x - y;
+                y
+            }
+        };
+        self.accountant.record(self.slot_epsilon());
+        reported
+    }
+
+    /// Reports a whole batch (convenience around [`Self::report`]).
+    pub fn report_all(&mut self, xs: &[f64], rng: &mut dyn RngCore) -> Vec<f64> {
+        xs.iter().map(|&x| self.report(x, rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::publisher::StreamMechanism;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn rejects_invalid_configs() {
+        assert!(OnlineSession::app(0.0, 5).is_err());
+        assert!(OnlineSession::capp(1.0, 0).is_err());
+    }
+
+    #[test]
+    fn session_accounting_tracks_every_slot() {
+        let mut s = OnlineSession::app(1.0, 10).unwrap();
+        let mut r = rng(1);
+        for _ in 0..25 {
+            let _ = s.report(0.5, &mut r);
+        }
+        assert_eq!(s.slots_published(), 25);
+        assert!(s.accountant().satisfies_w_event());
+        assert!((s.accountant().max_window_spend() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn online_app_matches_batch_app() {
+        // Same RNG stream, same feedback rule ⇒ identical raw outputs.
+        let batch = crate::App::new(1.0, 10).unwrap().with_smoothing(0);
+        let xs: Vec<f64> = (0..60).map(|i| i as f64 / 60.0).collect();
+        let expected = batch.publish(&xs, &mut rng(2));
+        let mut session = OnlineSession::app(1.0, 10).unwrap();
+        let got = session.report_all(&xs, &mut rng(2));
+        assert_eq!(expected, got);
+    }
+
+    #[test]
+    fn online_ipp_matches_batch_ipp() {
+        let batch = crate::Ipp::new(1.0, 10).unwrap();
+        let xs = vec![0.3; 40];
+        let expected = batch.publish(&xs, &mut rng(3));
+        let mut session = OnlineSession::ipp(1.0, 10).unwrap();
+        assert_eq!(expected, session.report_all(&xs, &mut rng(3)));
+    }
+
+    #[test]
+    fn online_capp_matches_batch_capp_raw() {
+        let batch = crate::Capp::new(1.0, 10).unwrap();
+        let xs: Vec<f64> = (0..50).map(|i| 0.5 + 0.3 * (i as f64 / 7.0).sin()).collect();
+        let expected = batch.publish_raw(&xs, &mut rng(4));
+        let mut session = OnlineSession::capp(1.0, 10).unwrap();
+        assert_eq!(expected, session.report_all(&xs, &mut rng(4)));
+    }
+
+    #[test]
+    fn sw_direct_session_keeps_zero_deviation() {
+        let mut s = OnlineSession::sw_direct(1.0, 5).unwrap();
+        let mut r = rng(5);
+        for _ in 0..10 {
+            let _ = s.report(0.7, &mut r);
+        }
+        assert_eq!(s.pending_deviation(), 0.0);
+    }
+
+    #[test]
+    fn deviation_state_persists_across_calls() {
+        let mut s = OnlineSession::app(1.0, 5).unwrap();
+        let mut r = rng(6);
+        let _ = s.report(0.5, &mut r);
+        let d1 = s.pending_deviation();
+        assert_ne!(d1, 0.0, "a perturbed report should leave a deviation");
+        let _ = s.report(0.5, &mut r);
+        // Accumulated: deviation changes but is not reset.
+        assert_ne!(s.pending_deviation(), d1);
+    }
+}

@@ -1,0 +1,59 @@
+//! The common interface of every stream publication algorithm.
+
+use rand::RngCore;
+
+/// A mechanism that privately publishes an entire stream (or subsequence).
+///
+/// Implementors include the paper's algorithms ([`crate::Ipp`],
+/// [`crate::App`], [`crate::Capp`], [`crate::Sampling`]) and the baselines
+/// in `ldp-baselines` (SW-direct, BA-SW, ToPL, naive sampling). The output
+/// always has the same length as the input so the collector can compute
+/// subsequence statistics slot by slot.
+pub trait StreamMechanism {
+    /// Publishes a private version of the stream `xs`.
+    fn publish(&self, xs: &[f64], rng: &mut dyn RngCore) -> Vec<f64>;
+
+    /// Short algorithm name for reports and benchmarks.
+    fn name(&self) -> &'static str;
+
+    /// Convenience: the mean of the published stream, the collector-side
+    /// estimator `M̂(i,j)` from the paper's problem definition.
+    fn estimate_mean(&self, xs: &[f64], rng: &mut dyn RngCore) -> f64 {
+        let out = self.publish(xs, rng);
+        if out.is_empty() {
+            return 0.0;
+        }
+        out.iter().sum::<f64>() / out.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// A no-noise identity publisher used to pin trait defaults.
+    struct Identity;
+
+    impl StreamMechanism for Identity {
+        fn publish(&self, xs: &[f64], _rng: &mut dyn RngCore) -> Vec<f64> {
+            xs.to_vec()
+        }
+        fn name(&self) -> &'static str {
+            "identity"
+        }
+    }
+
+    #[test]
+    fn estimate_mean_defaults_to_published_mean() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let m = Identity.estimate_mean(&[0.2, 0.4, 0.6], &mut rng);
+        assert!((m - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimate_mean_of_empty_is_zero() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        assert_eq!(Identity.estimate_mean(&[], &mut rng), 0.0);
+    }
+}

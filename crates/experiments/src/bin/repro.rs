@@ -1,0 +1,55 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro all            # every artifact, in paper order
+//! repro table1 fig4    # specific artifacts
+//! repro --list         # show available artifact names
+//! ```
+//!
+//! Environment: `LDP_TRIALS` (subsequences per cell, default 30),
+//! `LDP_QUICK=1` (smoke-test sizes), `LDP_SEED`, `LDP_CROWD_USERS`.
+
+use ldp_experiments::artifacts;
+use ldp_experiments::ExperimentConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: repro [--list] <artifact>... | all");
+        eprintln!("artifacts: {}", artifacts::names().join(", "));
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    if args.iter().any(|a| a == "--list") {
+        for name in artifacts::names() {
+            println!("{name}");
+        }
+        return;
+    }
+
+    let cfg = ExperimentConfig::from_env();
+    eprintln!(
+        "# config: trials={} crowd_users={} seed={:#x}",
+        cfg.trials, cfg.crowd_users, cfg.seed
+    );
+
+    let requested: Vec<&str> = if args.iter().any(|a| a == "all") {
+        artifacts::names().to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    for name in requested {
+        match artifacts::run(name, &cfg) {
+            Some(report) => {
+                println!("{report}");
+            }
+            None => {
+                eprintln!(
+                    "unknown artifact '{name}'; available: {}",
+                    artifacts::names().join(", ")
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+}

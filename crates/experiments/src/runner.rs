@@ -1,0 +1,303 @@
+//! Trial runner: repeats a configuration over random subsequences,
+//! sharding trials across threads.
+
+use crate::algorithms::AlgorithmSpec;
+use crate::datasets::DatasetData;
+use ldp_core::crowd;
+use ldp_metrics::{cosine_distance, wasserstein_cdf_sum, Summary};
+use rand::{Rng, SeedableRng};
+
+/// Bins used by the crowd-level Wasserstein distance (Fig 8).
+const WASSERSTEIN_BINS: usize = 50;
+
+/// One experiment cell: an (ε, w, q) point averaged over `trials` random
+/// subsequences.
+#[derive(Debug, Clone, Copy)]
+pub struct TrialSpec {
+    /// Window budget ε.
+    pub epsilon: f64,
+    /// Window size w.
+    pub w: usize,
+    /// Query (subsequence) length q.
+    pub q: usize,
+    /// Number of random subsequences.
+    pub trials: usize,
+    /// Deterministic seed for this cell.
+    pub seed: u64,
+}
+
+/// Metric computed per trial between the published and true subsequences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Squared error of the subsequence mean (averaged over trials → MSE).
+    MeanSquaredError,
+    /// Cosine distance between the published and true streams.
+    CosineDistance,
+}
+
+fn shard_counts(trials: usize) -> Vec<usize> {
+    let shards = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8)
+        .min(trials.max(1));
+    let base = trials / shards;
+    let extra = trials % shards;
+    (0..shards)
+        .map(|i| base + usize::from(i < extra))
+        .filter(|&n| n > 0)
+        .collect()
+}
+
+/// Runs one experiment cell and returns the trial-averaged metric.
+///
+/// For symmetric-domain algorithms (the Laplace/SR/PM family of Fig 9) the
+/// subsequence is mapped from `[0,1]` onto `[−1,1]` first and the metric is
+/// computed in that domain, matching the paper's setup.
+#[must_use]
+pub fn subsequence_metric(
+    data: &DatasetData,
+    spec: AlgorithmSpec,
+    trial: &TrialSpec,
+    metric: Metric,
+) -> f64 {
+    let counts = shard_counts(trial.trials);
+    let summaries: Vec<Summary> = std::thread::scope(|scope| {
+        let handles: Vec<_> = counts
+            .iter()
+            .enumerate()
+            .map(|(shard, &n)| {
+                scope.spawn(move || {
+                    let mut rng =
+                        rand::rngs::StdRng::seed_from_u64(trial.seed ^ (shard as u64) << 32);
+                    let algo = spec.build(trial.epsilon, trial.w);
+                    let mut summary = Summary::new();
+                    for _ in 0..n {
+                        let raw = data.random_subsequence(trial.q, &mut rng);
+                        let truth: Vec<f64> = if spec.uses_symmetric_domain() {
+                            raw.iter().map(|&x| 2.0 * x - 1.0).collect()
+                        } else {
+                            raw.to_vec()
+                        };
+                        let published = algo.publish(&truth, &mut rng);
+                        let value = match metric {
+                            Metric::MeanSquaredError => {
+                                let m_est =
+                                    published.iter().sum::<f64>() / published.len() as f64;
+                                let m_true = truth.iter().sum::<f64>() / truth.len() as f64;
+                                (m_est - m_true) * (m_est - m_true)
+                            }
+                            Metric::CosineDistance => cosine_distance(&published, &truth),
+                        };
+                        summary.add(value);
+                    }
+                    summary
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut total = Summary::new();
+    for s in &summaries {
+        total.merge(s);
+    }
+    total.mean()
+}
+
+/// Runs one crowd-level cell (Fig 8): every user publishes the same query
+/// range privately, the collector forms the distribution of estimated
+/// per-user means, and the Wasserstein distance to the true distribution is
+/// averaged over `trials` random ranges.
+///
+/// # Panics
+/// Panics if the dataset is single-user.
+#[must_use]
+pub fn crowd_wasserstein(data: &DatasetData, spec: AlgorithmSpec, trial: &TrialSpec) -> f64 {
+    let population = data.population();
+    let len = population.users()[0].len();
+    assert!(len >= trial.q, "user streams shorter than q");
+    let counts = shard_counts(trial.trials);
+    let summaries: Vec<Summary> = std::thread::scope(|scope| {
+        let handles: Vec<_> = counts
+            .iter()
+            .enumerate()
+            .map(|(shard, &n)| {
+                scope.spawn(move || {
+                    let mut rng =
+                        rand::rngs::StdRng::seed_from_u64(trial.seed ^ (shard as u64) << 32);
+                    let algo = spec.build(trial.epsilon, trial.w);
+                    let mut summary = Summary::new();
+                    for _ in 0..n {
+                        let start = rng.gen_range(0..=len - trial.q);
+                        let range = start..start + trial.q;
+                        let est = crowd::estimated_population_means(
+                            population,
+                            range.clone(),
+                            algo.as_ref(),
+                            &mut rng,
+                        );
+                        let truth = crowd::true_population_means(population, range);
+                        summary.add(wasserstein_cdf_sum(&est, &truth, WASSERSTEIN_BINS));
+                    }
+                    summary
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut total = Summary::new();
+    for s in &summaries {
+        total.merge(s);
+    }
+    total.mean()
+}
+
+/// Runs one crowd-averaged mean-estimation cell (the paper's Table I
+/// protocol for the multi-user Taxi dataset): every user publishes the
+/// same window, the collector averages the per-user published means into
+/// one population-mean estimate, and its squared error is averaged over
+/// `trials` random windows. Per-user noise averages out over the
+/// population, so the magnitudes are ~`users`× smaller than the per-user
+/// metric.
+///
+/// # Panics
+/// Panics if the dataset is single-user.
+#[must_use]
+pub fn population_mean_mse(data: &DatasetData, spec: AlgorithmSpec, trial: &TrialSpec) -> f64 {
+    let population = data.population();
+    let len = population.users()[0].len();
+    assert!(len >= trial.q, "user streams shorter than q");
+    let counts = shard_counts(trial.trials);
+    let summaries: Vec<Summary> = std::thread::scope(|scope| {
+        let handles: Vec<_> = counts
+            .iter()
+            .enumerate()
+            .map(|(shard, &n)| {
+                scope.spawn(move || {
+                    let mut rng =
+                        rand::rngs::StdRng::seed_from_u64(trial.seed ^ (shard as u64) << 32);
+                    let algo = spec.build(trial.epsilon, trial.w);
+                    let mut summary = Summary::new();
+                    for _ in 0..n {
+                        let start = rng.gen_range(0..=len - trial.q);
+                        let range = start..start + trial.q;
+                        let est = crowd::estimated_population_means(
+                            population,
+                            range.clone(),
+                            algo.as_ref(),
+                            &mut rng,
+                        );
+                        let est_mean = est.iter().sum::<f64>() / est.len() as f64;
+                        let truth = crowd::true_population_means(population, range);
+                        let true_mean = truth.iter().sum::<f64>() / truth.len() as f64;
+                        summary.add((est_mean - true_mean) * (est_mean - true_mean));
+                    }
+                    summary
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut total = Summary::new();
+    for s in &summaries {
+        total.merge(s);
+    }
+    total.mean()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::Dataset;
+
+    fn spec(trials: usize) -> TrialSpec {
+        TrialSpec {
+            epsilon: 1.0,
+            w: 10,
+            q: 10,
+            trials,
+            seed: 99,
+        }
+    }
+
+    #[test]
+    fn shard_counts_partition_trials() {
+        for trials in [1, 2, 7, 30, 100] {
+            let counts = shard_counts(trials);
+            assert_eq!(counts.iter().sum::<usize>(), trials);
+            assert!(counts.iter().all(|&c| c > 0));
+        }
+    }
+
+    #[test]
+    fn metric_is_deterministic_in_seed() {
+        let data = Dataset::C6h6.materialize(1, 3);
+        let a = subsequence_metric(&data, AlgorithmSpec::App, &spec(8), Metric::MeanSquaredError);
+        let b = subsequence_metric(&data, AlgorithmSpec::App, &spec(8), Metric::MeanSquaredError);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mse_decreases_with_budget() {
+        let data = Dataset::C6h6.materialize(1, 3);
+        let lo = subsequence_metric(
+            &data,
+            AlgorithmSpec::App,
+            &TrialSpec {
+                epsilon: 0.5,
+                trials: 40,
+                ..spec(0)
+            },
+            Metric::MeanSquaredError,
+        );
+        let hi = subsequence_metric(
+            &data,
+            AlgorithmSpec::App,
+            &TrialSpec {
+                epsilon: 20.0,
+                trials: 40,
+                ..spec(0)
+            },
+            Metric::MeanSquaredError,
+        );
+        assert!(hi < lo, "ε=20 MSE {hi} should be below ε=0.5 MSE {lo}");
+    }
+
+    #[test]
+    fn crowd_runner_produces_finite_distance() {
+        let data = Dataset::Taxi.materialize(40, 5);
+        let d = crowd_wasserstein(&data, AlgorithmSpec::App, &spec(3));
+        assert!(d.is_finite() && d >= 0.0);
+    }
+
+    #[test]
+    fn population_mean_mse_is_much_smaller_than_per_user() {
+        // Noise averages across users: the crowd-averaged metric must be
+        // far below the per-user metric on the same configuration.
+        let data = Dataset::Taxi.materialize(150, 5);
+        let t = spec(10);
+        let crowd = population_mean_mse(&data, AlgorithmSpec::SwDirect, &t);
+        let per_user = subsequence_metric(
+            &data,
+            AlgorithmSpec::SwDirect,
+            &t,
+            Metric::MeanSquaredError,
+        );
+        assert!(
+            crowd < per_user / 5.0,
+            "crowd {crowd} should be ≪ per-user {per_user}"
+        );
+    }
+
+    #[test]
+    fn symmetric_domain_metric_runs() {
+        let data = Dataset::Volume.materialize(1, 7);
+        let v = subsequence_metric(
+            &data,
+            AlgorithmSpec::MechDirect(crate::algorithms::AltMechanism::Laplace),
+            &spec(5),
+            Metric::CosineDistance,
+        );
+        assert!(v.is_finite());
+    }
+}

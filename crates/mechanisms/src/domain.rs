@@ -1,0 +1,136 @@
+//! Closed real intervals used as mechanism input/output domains.
+
+use crate::error::MechanismError;
+
+/// A closed interval `[lo, hi]` (bounds may be infinite for unbounded
+/// output domains such as the Laplace mechanism's).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Domain {
+    lo: f64,
+    hi: f64,
+}
+
+impl Domain {
+    /// The unit interval `[0, 1]` — the canonical SW input domain.
+    pub const UNIT: Domain = Domain { lo: 0.0, hi: 1.0 };
+
+    /// The symmetric interval `[−1, 1]` — the canonical input domain of
+    /// Laplace / SR / PM / HM.
+    pub const SYMMETRIC: Domain = Domain { lo: -1.0, hi: 1.0 };
+
+    /// The whole real line (used as the Laplace output domain).
+    pub const REAL: Domain = Domain {
+        lo: f64::NEG_INFINITY,
+        hi: f64::INFINITY,
+    };
+
+    /// Creates a domain, validating `lo < hi` and that neither bound is NaN.
+    pub fn new(lo: f64, hi: f64) -> Result<Self, MechanismError> {
+        if lo.is_nan() || hi.is_nan() || lo >= hi {
+            return Err(MechanismError::InvalidDomain { lo, hi });
+        }
+        Ok(Self { lo, hi })
+    }
+
+    /// Lower bound.
+    #[must_use]
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    #[must_use]
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Interval width (`+inf` for unbounded domains).
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Whether `x` lies in the closed interval.
+    #[must_use]
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lo && x <= self.hi
+    }
+
+    /// Clamps `x` into the interval. NaN inputs are mapped to the lower
+    /// bound so that downstream arithmetic stays finite.
+    #[must_use]
+    pub fn clip(&self, x: f64) -> f64 {
+        if x.is_nan() {
+            return self.lo;
+        }
+        x.clamp(self.lo, self.hi)
+    }
+
+    /// Affinely maps `x` from this domain onto `[0, 1]`.
+    ///
+    /// # Panics
+    /// Panics (debug) if the domain is unbounded.
+    #[must_use]
+    pub fn normalize(&self, x: f64) -> f64 {
+        debug_assert!(self.width().is_finite(), "cannot normalize unbounded domain");
+        (x - self.lo) / self.width()
+    }
+
+    /// Affinely maps `t ∈ [0, 1]` back into this domain (inverse of
+    /// [`Self::normalize`]).
+    #[must_use]
+    pub fn denormalize(&self, t: f64) -> f64 {
+        debug_assert!(self.width().is_finite(), "cannot denormalize unbounded domain");
+        self.lo + t * self.width()
+    }
+}
+
+impl std::fmt::Display for Domain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_bounds() {
+        assert!(Domain::new(1.0, 1.0).is_err());
+        assert!(Domain::new(2.0, 1.0).is_err());
+        assert!(Domain::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn clip_and_contains() {
+        let d = Domain::new(-0.5, 1.5).unwrap();
+        assert_eq!(d.clip(2.0), 1.5);
+        assert_eq!(d.clip(-3.0), -0.5);
+        assert_eq!(d.clip(0.25), 0.25);
+        assert!(d.contains(-0.5) && d.contains(1.5) && !d.contains(1.6));
+    }
+
+    #[test]
+    fn clip_nan_maps_to_lo() {
+        let d = Domain::UNIT;
+        assert_eq!(d.clip(f64::NAN), 0.0);
+    }
+
+    #[test]
+    fn normalize_roundtrip() {
+        let d = Domain::new(-2.0, 6.0).unwrap();
+        for &x in &[-2.0, 0.0, 3.3, 6.0] {
+            let t = d.normalize(x);
+            assert!((0.0..=1.0).contains(&t));
+            assert!((d.denormalize(t) - x).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constants_are_sane() {
+        assert_eq!(Domain::UNIT.width(), 1.0);
+        assert_eq!(Domain::SYMMETRIC.width(), 2.0);
+        assert!(Domain::REAL.contains(1e300));
+    }
+}

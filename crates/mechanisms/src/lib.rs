@@ -1,0 +1,54 @@
+//! Numeric local-differential-privacy mechanisms.
+//!
+//! This crate implements every perturbation primitive used by the ICDE 2025
+//! paper *"Dual Utilization of Perturbation for Stream Data Publication
+//! under Local Differential Privacy"*:
+//!
+//! * [`SquareWave`] (SW, Li et al. SIGMOD 2020) — the paper's primary
+//!   mechanism, with closed-form output moments (needed by CAPP's clip-bound
+//!   optimizer and the PP-S sample-count optimizer) and an EM/MLE
+//!   distribution reconstruction ([`sw_estimate`]).
+//! * [`Laplace`] — the classic additive-noise mechanism.
+//! * [`StochasticRounding`] (SR, Duchi et al.) — two-point output mechanism.
+//! * [`Piecewise`] (PM, Wang et al. ICDE 2019).
+//! * [`Hybrid`] (HM) — an ε-dependent mixture of PM and SR, the primitive
+//!   used by the ToPL baseline.
+//!
+//! All mechanisms implement the [`Mechanism`] trait, which exposes the
+//! privacy budget, input/output domains, a sampling method, and the exact
+//! output density — the density is what the property-test suite uses to
+//! verify the ε-LDP bound `f(y|x) ≤ e^ε · f(y|x')` pointwise.
+//!
+//! # Example
+//!
+//! ```
+//! use ldp_mechanisms::{Mechanism, SquareWave};
+//! use rand::SeedableRng;
+//!
+//! let sw = SquareWave::new(1.0).unwrap();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let noisy = sw.perturb(0.42, &mut rng);
+//! assert!(sw.output_domain().contains(noisy));
+//! ```
+
+pub mod domain;
+pub mod error;
+pub mod hybrid;
+pub mod laplace;
+pub mod piecewise;
+pub mod sr;
+pub mod sw;
+pub mod sw_estimate;
+pub mod traits;
+
+pub use domain::Domain;
+pub use error::MechanismError;
+pub use hybrid::Hybrid;
+pub use laplace::Laplace;
+pub use piecewise::Piecewise;
+pub use sr::StochasticRounding;
+pub use sw::SquareWave;
+pub use traits::Mechanism;
+
+/// Convenient `Result` alias for mechanism construction.
+pub type Result<T> = std::result::Result<T, MechanismError>;

@@ -1,0 +1,61 @@
+//! The common interface implemented by every numeric LDP mechanism.
+
+use crate::domain::Domain;
+use rand::RngCore;
+
+/// A randomized mechanism `A` satisfying ε-LDP: for any inputs `x, x'` in
+/// the input domain and any output `y`, `f(y|x) ≤ e^ε · f(y|x')`, where `f`
+/// is the output density (or probability mass, for discrete mechanisms).
+///
+/// Implementations clamp out-of-domain inputs to the input domain before
+/// perturbing — this matches the paper's algorithms, which always clip
+/// deviation-adjusted inputs, and keeps the privacy guarantee intact
+/// (clipping is a deterministic pre-processing step).
+pub trait Mechanism {
+    /// The privacy budget ε this instance was constructed with.
+    fn epsilon(&self) -> f64;
+
+    /// Domain that inputs are clamped into.
+    fn input_domain(&self) -> Domain;
+
+    /// Domain the perturbed outputs live in.
+    fn output_domain(&self) -> Domain;
+
+    /// Perturbs a single value.
+    fn perturb(&self, v: f64, rng: &mut dyn RngCore) -> f64;
+
+    /// Output density `f(y | x)` (probability mass for discrete mechanisms).
+    ///
+    /// Used by tests to check the LDP inequality pointwise and by
+    /// estimation routines; `x` is clamped like in [`Self::perturb`].
+    fn density(&self, x: f64, y: f64) -> f64;
+
+    /// Expected output `E[A(x)]` for a clamped input `x`.
+    ///
+    /// SW is biased (its expectation is an affine contraction of `x`);
+    /// the additive / piecewise mechanisms are unbiased.
+    fn expected_output(&self, x: f64) -> f64;
+
+    /// Perturbs every element of a slice, in order.
+    fn perturb_slice(&self, vs: &[f64], rng: &mut dyn RngCore) -> Vec<f64> {
+        vs.iter().map(|&v| self.perturb(v, rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SquareWave;
+    use rand::SeedableRng;
+
+    #[test]
+    fn perturb_slice_matches_sequential_perturb() {
+        let sw = SquareWave::new(1.0).unwrap();
+        let xs = [0.1, 0.5, 0.9];
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(3);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(3);
+        let batch = sw.perturb_slice(&xs, &mut r1);
+        let seq: Vec<f64> = xs.iter().map(|&x| sw.perturb(x, &mut r2)).collect();
+        assert_eq!(batch, seq);
+    }
+}

@@ -1,0 +1,188 @@
+//! Property-based tests over randomized privacy budgets and inputs.
+//!
+//! These complement the per-module unit tests: instead of fixed budgets,
+//! every invariant is checked for arbitrary `ε` across the range the
+//! paper's experiments exercise (per-slot budgets from ε/w ≈ 0.01 up to
+//! whole-window budgets of 5+).
+
+use ldp_mechanisms::{
+    Domain, Hybrid, Laplace, Mechanism, Piecewise, SquareWave, StochasticRounding,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn eps_strategy() -> impl Strategy<Value = f64> {
+    0.01..6.0f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// SW's density integrates to one: near mass 2b·p plus far mass 1·q.
+    #[test]
+    fn sw_density_normalizes(eps in eps_strategy()) {
+        let sw = SquareWave::new(eps).unwrap();
+        let mass = 2.0 * sw.b() * sw.p() + sw.q();
+        prop_assert!((mass - 1.0).abs() < 1e-9);
+    }
+
+    /// SW's near/far density ratio is exactly e^ε for every budget.
+    #[test]
+    fn sw_density_ratio_is_exactly_e_eps(eps in eps_strategy()) {
+        let sw = SquareWave::new(eps).unwrap();
+        prop_assert!((sw.p() / sw.q() - eps.exp()).abs() < 1e-9 * eps.exp());
+    }
+
+    /// The wave half-width is monotone non-increasing in ε and bounded by
+    /// (0, ~1/2].
+    #[test]
+    fn sw_half_width_monotone(eps in 0.01..5.0f64, delta in 0.01..2.0f64) {
+        let b1 = SquareWave::wave_half_width(eps);
+        let b2 = SquareWave::wave_half_width(eps + delta);
+        prop_assert!(b1 > 0.0 && b1 < 0.75);
+        prop_assert!(b2 <= b1 + 1e-9);
+    }
+
+    /// PM's density integrates to one for every budget.
+    #[test]
+    fn pm_density_normalizes(eps in eps_strategy()) {
+        let pm = Piecewise::new(eps).unwrap();
+        let plateau = pm.p_high() * (pm.c() - 1.0);
+        let tails = pm.p_high() / eps.exp() * (pm.c() + 1.0);
+        prop_assert!((plateau + tails - 1.0).abs() < 1e-9);
+    }
+
+    /// PM's plateau always sits inside the output range, for any input.
+    #[test]
+    fn pm_plateau_inside_range(eps in eps_strategy(), v in -1.5..1.5f64) {
+        let pm = Piecewise::new(eps).unwrap();
+        let (l, r) = pm.plateau(v);
+        prop_assert!(l >= -pm.c() - 1e-9);
+        prop_assert!(r <= pm.c() + 1e-9);
+        prop_assert!((r - l - (pm.c() - 1.0)).abs() < 1e-9);
+    }
+
+    /// SR's positive-output probability is a valid probability and the
+    /// two-point masses ratio never exceeds e^ε.
+    #[test]
+    fn sr_mass_ratio_bounded(eps in eps_strategy(), v1 in -1.0..=1.0f64, v2 in -1.0..=1.0f64) {
+        let sr = StochasticRounding::new(eps).unwrap();
+        let (p1, p2) = (sr.prob_positive(v1), sr.prob_positive(v2));
+        prop_assert!((0.0..=1.0).contains(&p1));
+        let bound = eps.exp() * (1.0 + 1e-9);
+        prop_assert!(p1 / p2 <= bound);
+        prop_assert!((1.0 - p1) / (1.0 - p2) <= bound);
+    }
+
+    /// The hybrid's PM weight is a probability and zero below the 0.61
+    /// threshold.
+    #[test]
+    fn hm_alpha_valid(eps in eps_strategy()) {
+        let hm = Hybrid::new(eps).unwrap();
+        prop_assert!((0.0..1.0).contains(&hm.alpha()));
+        if eps <= 0.61 {
+            prop_assert_eq!(hm.alpha(), 0.0);
+        }
+    }
+
+    /// Perturbed outputs stay in the mechanism's output domain for any
+    /// (ε, input, seed) — inputs outside the domain are clamped.
+    #[test]
+    fn outputs_in_domain(eps in eps_strategy(), x in -3.0..3.0f64, seed in 0u64..10_000) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mechs: Vec<Box<dyn Mechanism>> = vec![
+            Box::new(SquareWave::new(eps).unwrap()),
+            Box::new(StochasticRounding::new(eps).unwrap()),
+            Box::new(Piecewise::new(eps).unwrap()),
+            Box::new(Hybrid::new(eps).unwrap()),
+        ];
+        for m in &mechs {
+            let y = m.perturb(x, &mut rng);
+            prop_assert!(m.output_domain().contains(y));
+        }
+    }
+
+    /// Densities are non-negative everywhere.
+    #[test]
+    fn densities_nonnegative(eps in eps_strategy(), x in -1.0..=1.0f64, y in -20.0..20.0f64) {
+        let mechs: Vec<Box<dyn Mechanism>> = vec![
+            Box::new(SquareWave::new(eps).unwrap()),
+            Box::new(Laplace::new(eps).unwrap()),
+            Box::new(StochasticRounding::new(eps).unwrap()),
+            Box::new(Piecewise::new(eps).unwrap()),
+            Box::new(Hybrid::new(eps).unwrap()),
+        ];
+        for m in &mechs {
+            prop_assert!(m.density(x, y) >= 0.0);
+        }
+    }
+
+    /// Closed-form output variances match exact piecewise integration /
+    /// algebra for every budget: SW's integration-based variance is
+    /// non-negative and decreasing-ish in ε; SR's C² − v² and PM's formula
+    /// agree with first principles at v = 0.
+    #[test]
+    fn closed_form_variances_consistent(eps in 0.05..5.0f64) {
+        let sr = StochasticRounding::new(eps).unwrap();
+        // At v = 0, SR outputs ±C with probability 1/2 each: Var = C².
+        prop_assert!((sr.output_variance(0.0) - sr.c() * sr.c()).abs() < 1e-9);
+
+        let lap = Laplace::new(eps).unwrap();
+        prop_assert!((lap.output_variance() - 8.0 / (eps * eps)).abs() < 1e-9);
+
+        let sw = SquareWave::new(eps).unwrap();
+        prop_assert!(sw.output_variance(1.0) > 0.0);
+        prop_assert!(sw.output_variance(1.0) < 0.5);
+    }
+
+    /// Domain clip is idempotent and keeps values inside.
+    #[test]
+    fn domain_clip_idempotent(lo in -5.0..0.0f64, hi in 0.1..5.0f64, x in -10.0..10.0f64) {
+        let d = Domain::new(lo, hi).unwrap();
+        let c = d.clip(x);
+        prop_assert!(d.contains(c));
+        prop_assert_eq!(d.clip(c), c);
+    }
+
+    /// Normalize/denormalize round-trips within the domain.
+    #[test]
+    fn domain_normalize_roundtrip(lo in -5.0..0.0f64, width in 0.1..10.0f64, t in 0.0..=1.0f64) {
+        let d = Domain::new(lo, lo + width).unwrap();
+        let x = d.denormalize(t);
+        prop_assert!((d.normalize(x) - t).abs() < 1e-9);
+    }
+}
+
+/// Statistical (seeded, non-proptest) check: PM's closed-form variance
+/// matches the empirical variance across a few budgets.
+#[test]
+fn pm_variance_matches_empirical() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    for &eps in &[0.8, 1.5, 3.0] {
+        let pm = Piecewise::new(eps).unwrap();
+        for &v in &[-0.5, 0.0, 0.7] {
+            let n = 200_000;
+            let samples: Vec<f64> = (0..n).map(|_| pm.perturb(v, &mut rng)).collect();
+            let mean = samples.iter().sum::<f64>() / n as f64;
+            let var =
+                samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+            let expect = pm.output_variance(v);
+            assert!(
+                (var - expect).abs() / expect < 0.05,
+                "eps={eps} v={v}: empirical {var} vs closed form {expect}"
+            );
+        }
+    }
+}
+
+/// Statistical check: Laplace empirical variance matches 2·scale².
+#[test]
+fn laplace_variance_matches_empirical() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(43);
+    let lap = Laplace::new(1.3).unwrap();
+    let n = 300_000;
+    let samples: Vec<f64> = (0..n).map(|_| lap.perturb(0.2, &mut rng)).collect();
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+    assert!((var - lap.output_variance()).abs() / lap.output_variance() < 0.05);
+}

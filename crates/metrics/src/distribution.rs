@@ -1,0 +1,189 @@
+//! Distances between empirical distributions (crowd-level statistics).
+
+/// Wasserstein distance computed as the paper defines it: the sum of
+/// absolute differences between two empirical CDFs evaluated over a shared
+/// grid of `bins` equal-width bins spanning both samples.
+///
+/// `W(F, G) = Σᵢ |Fᵢ − Gᵢ|`
+///
+/// This is the discretized Earth Mover's Distance used for Figure 8
+/// (distribution of per-user subsequence means). Larger values mean the
+/// estimated population distribution is further from the truth.
+///
+/// # Panics
+/// Panics if either sample is empty or `bins == 0`.
+#[must_use]
+pub fn wasserstein_cdf_sum(a: &[f64], b: &[f64], bins: usize) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "wasserstein: empty sample");
+    assert!(bins > 0, "wasserstein: bins must be positive");
+    let lo = a
+        .iter()
+        .chain(b)
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    let hi = a
+        .iter()
+        .chain(b)
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    if lo == hi {
+        return 0.0;
+    }
+    let cdf = |xs: &[f64], t: f64| xs.iter().filter(|&&x| x <= t).count() as f64 / xs.len() as f64;
+    let width = (hi - lo) / bins as f64;
+    (1..=bins)
+        .map(|i| {
+            let t = lo + width * i as f64;
+            (cdf(a, t) - cdf(b, t)).abs()
+        })
+        .sum()
+}
+
+/// 1-Wasserstein distance between two equal-size empirical distributions,
+/// computed exactly by sorting and averaging coordinate-wise differences:
+/// `W₁ = (1/n) Σᵢ |a₍ᵢ₎ − b₍ᵢ₎|`.
+///
+/// This continuous variant is used in tests as an independent cross-check of
+/// [`wasserstein_cdf_sum`] orderings.
+///
+/// # Panics
+/// Panics if the samples are empty or have different lengths.
+#[must_use]
+pub fn wasserstein_sorted(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "wasserstein_sorted: length mismatch");
+    assert!(!a.is_empty(), "wasserstein_sorted: empty sample");
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(f64::total_cmp);
+    sb.sort_by(f64::total_cmp);
+    sa.iter()
+        .zip(&sb)
+        .map(|(x, y)| (x - y).abs())
+        .sum::<f64>()
+        / a.len() as f64
+}
+
+/// Kolmogorov–Smirnov statistic: the supremum distance between the two
+/// empirical CDFs (evaluated at every sample point).
+///
+/// # Panics
+/// Panics if either sample is empty.
+#[must_use]
+pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "ks: empty sample");
+    let cdf = |xs: &[f64], t: f64| xs.iter().filter(|&&x| x <= t).count() as f64 / xs.len() as f64;
+    a.iter()
+        .chain(b)
+        .map(|&t| (cdf(a, t) - cdf(b, t)).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Jensen–Shannon divergence between two histograms built over `bins`
+/// shared equal-width bins. Returns a value in `[0, ln 2]`.
+///
+/// # Panics
+/// Panics if either sample is empty or `bins == 0`.
+#[must_use]
+pub fn jsd(a: &[f64], b: &[f64], bins: usize) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "jsd: empty sample");
+    assert!(bins > 0, "jsd: bins must be positive");
+    let lo = a.iter().chain(b).copied().fold(f64::INFINITY, f64::min);
+    let hi = a
+        .iter()
+        .chain(b)
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    if lo == hi {
+        return 0.0;
+    }
+    let hist = |xs: &[f64]| {
+        let mut h = vec![0.0f64; bins];
+        for &x in xs {
+            let idx = (((x - lo) / (hi - lo)) * bins as f64) as usize;
+            h[idx.min(bins - 1)] += 1.0 / xs.len() as f64;
+        }
+        h
+    };
+    let pa = hist(a);
+    let pb = hist(b);
+    let kl = |p: &[f64], q: &[f64]| {
+        p.iter()
+            .zip(q)
+            .filter(|(x, _)| **x > 0.0)
+            .map(|(x, y)| x * (x / y).ln())
+            .sum::<f64>()
+    };
+    let m: Vec<f64> = pa.iter().zip(&pb).map(|(x, y)| 0.5 * (x + y)).collect();
+    0.5 * kl(&pa, &m) + 0.5 * kl(&pb, &m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wasserstein_identical_samples_is_zero() {
+        let a = [0.1, 0.5, 0.9, 0.3];
+        assert_eq!(wasserstein_cdf_sum(&a, &a, 32), 0.0);
+    }
+
+    #[test]
+    fn wasserstein_detects_shift() {
+        let a: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        let near: Vec<f64> = a.iter().map(|x| x + 0.01).collect();
+        let far: Vec<f64> = a.iter().map(|x| x + 0.5).collect();
+        assert!(
+            wasserstein_cdf_sum(&a, &far, 64) > wasserstein_cdf_sum(&a, &near, 64),
+            "bigger shift must yield bigger distance"
+        );
+    }
+
+    #[test]
+    fn wasserstein_sorted_shift_equals_offset() {
+        let a: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let b: Vec<f64> = a.iter().map(|x| x + 2.5).collect();
+        assert!((wasserstein_sorted(&a, &b) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wasserstein_sorted_is_symmetric() {
+        let a = [0.1, 0.9, 0.4];
+        let b = [0.2, 0.3, 0.8];
+        assert!((wasserstein_sorted(&a, &b) - wasserstein_sorted(&b, &a)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ks_disjoint_supports_is_one() {
+        let a = [0.0, 0.1, 0.2];
+        let b = [10.0, 10.1, 10.2];
+        assert!((ks_statistic(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_identical_is_zero() {
+        let a = [0.4, 0.2, 0.8];
+        assert_eq!(ks_statistic(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn jsd_identical_is_zero() {
+        let a = [0.1, 0.2, 0.3, 0.4];
+        assert!(jsd(&a, &a, 8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jsd_bounded_by_ln2() {
+        let a = [0.0, 0.01, 0.02];
+        let b = [1.0, 0.99, 0.98];
+        let d = jsd(&a, &b, 16);
+        assert!(d > 0.0 && d <= std::f64::consts::LN_2 + 1e-12);
+    }
+
+    #[test]
+    fn degenerate_equal_point_masses() {
+        let a = [0.5, 0.5];
+        let b = [0.5, 0.5];
+        assert_eq!(wasserstein_cdf_sum(&a, &b, 10), 0.0);
+        assert_eq!(jsd(&a, &b, 10), 0.0);
+    }
+}

@@ -1,0 +1,24 @@
+//! Utility metrics for evaluating private stream publication.
+//!
+//! The ICDE 2025 evaluation uses three families of metrics:
+//!
+//! * **Mean estimation** — [`mse`] (Mean Squared Error) between estimated and
+//!   true subsequence means.
+//! * **Stream publication** — [`cosine_distance`] between the published and
+//!   ground-truth streams.
+//! * **Crowd-level statistics** — [`wasserstein_cdf_sum`] /
+//!   [`wasserstein_sorted`] between the distribution of estimated per-user
+//!   means and the true one.
+//!
+//! [`jsd`] and [`ks_statistic`] are provided as supplementary distribution
+//! distances, and [`Summary`] aggregates repeated trials.
+
+pub mod distribution;
+pub mod pointwise;
+pub mod summary;
+pub mod vector;
+
+pub use distribution::{jsd, ks_statistic, wasserstein_cdf_sum, wasserstein_sorted};
+pub use pointwise::{mae, mean, mse, rmse};
+pub use summary::Summary;
+pub use vector::{cosine_distance, cosine_similarity, euclidean_distance};

@@ -1,0 +1,114 @@
+//! Point-wise error metrics between an estimate and the ground truth.
+
+/// Arithmetic mean of a slice. Returns `0.0` for an empty slice.
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Mean Squared Error between predictions and ground truth.
+///
+/// `MSE = (1/n) Σ (ŷᵢ − yᵢ)²`.
+///
+/// # Panics
+/// Panics if the slices have different lengths or are empty.
+#[must_use]
+pub fn mse(estimate: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(
+        estimate.len(),
+        truth.len(),
+        "mse: length mismatch ({} vs {})",
+        estimate.len(),
+        truth.len()
+    );
+    assert!(!truth.is_empty(), "mse: empty input");
+    estimate
+        .iter()
+        .zip(truth)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        / truth.len() as f64
+}
+
+/// Root Mean Squared Error; see [`mse`].
+#[must_use]
+pub fn rmse(estimate: &[f64], truth: &[f64]) -> f64 {
+    mse(estimate, truth).sqrt()
+}
+
+/// Mean Absolute Error between predictions and ground truth.
+///
+/// # Panics
+/// Panics if the slices have different lengths or are empty.
+#[must_use]
+pub fn mae(estimate: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(estimate.len(), truth.len(), "mae: length mismatch");
+    assert!(!truth.is_empty(), "mae: empty input");
+    estimate
+        .iter()
+        .zip(truth)
+        .map(|(a, b)| (a - b).abs())
+        .sum::<f64>()
+        / truth.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn mean_of_values() {
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mse_identical_is_zero() {
+        let v = [0.1, 0.5, 0.9];
+        assert_eq!(mse(&v, &v), 0.0);
+    }
+
+    #[test]
+    fn mse_known_value() {
+        // errors: 1, -1 -> squared 1, 1 -> mean 1
+        assert!((mse(&[2.0, 0.0], &[1.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmse_is_sqrt_of_mse() {
+        let a = [2.0, 0.0, 3.0];
+        let b = [1.0, 1.0, 1.0];
+        assert!((rmse(&a, &b) - mse(&a, &b).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mae_known_value() {
+        assert!((mae(&[2.0, 0.0], &[1.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mse_length_mismatch_panics() {
+        let _ = mse(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn mse_empty_panics() {
+        let _ = mse(&[], &[]);
+    }
+
+    #[test]
+    fn mse_is_symmetric() {
+        let a = [0.3, 0.7, 0.1];
+        let b = [0.4, 0.2, 0.9];
+        assert!((mse(&a, &b) - mse(&b, &a)).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,87 @@
+//! Vector-space (dis)similarity metrics used for stream publication quality.
+
+/// Cosine similarity `⟨u,v⟩ / (‖u‖·‖v‖)`.
+///
+/// Returns `0.0` when either vector has zero norm (the streams carry no
+/// signal to compare), which maps to the maximal [`cosine_distance`] of 1.
+///
+/// # Panics
+/// Panics if the slices have different lengths or are empty.
+#[must_use]
+pub fn cosine_similarity(u: &[f64], v: &[f64]) -> f64 {
+    assert_eq!(u.len(), v.len(), "cosine: length mismatch");
+    assert!(!u.is_empty(), "cosine: empty input");
+    let dot: f64 = u.iter().zip(v).map(|(a, b)| a * b).sum();
+    let nu: f64 = u.iter().map(|a| a * a).sum::<f64>().sqrt();
+    let nv: f64 = v.iter().map(|a| a * a).sum::<f64>().sqrt();
+    if nu == 0.0 || nv == 0.0 {
+        return 0.0;
+    }
+    dot / (nu * nv)
+}
+
+/// Cosine distance `1 − cosine_similarity(u, v)` as used in the paper's
+/// stream-publication evaluation (Figures 5, 7, 9, 10). Values near 0 mean
+/// the published stream closely tracks the ground truth.
+#[must_use]
+pub fn cosine_distance(u: &[f64], v: &[f64]) -> f64 {
+    1.0 - cosine_similarity(u, v)
+}
+
+/// Euclidean (L2) distance between two equal-length vectors.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn euclidean_distance(u: &[f64], v: &[f64]) -> f64 {
+    assert_eq!(u.len(), v.len(), "euclidean: length mismatch");
+    u.iter()
+        .zip(v)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_vectors_have_zero_distance() {
+        let v = [0.2, 0.4, 0.6];
+        assert!(cosine_distance(&v, &v).abs() < 1e-12);
+    }
+
+    #[test]
+    fn orthogonal_vectors_have_distance_one() {
+        assert!((cosine_distance(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn opposite_vectors_have_distance_two() {
+        assert!((cosine_distance(&[1.0, 1.0], &[-1.0, -1.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_vector_yields_distance_one() {
+        assert!((cosine_distance(&[0.0, 0.0], &[1.0, 2.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_invariance_of_similarity() {
+        let u = [0.1, 0.7, 0.3];
+        let scaled: Vec<f64> = u.iter().map(|x| x * 7.5).collect();
+        assert!((cosine_similarity(&u, &scaled) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn euclidean_known_value() {
+        assert!((euclidean_distance(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn cosine_length_mismatch_panics() {
+        let _ = cosine_similarity(&[1.0], &[1.0, 2.0]);
+    }
+}

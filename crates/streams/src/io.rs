@@ -1,0 +1,239 @@
+//! Loading real datasets from disk.
+//!
+//! The experiments default to the synthetic generators, but users who have
+//! the original CSV exports (UCI Air-Quality, MNDoT volume counts, T-Drive
+//! extracts, UCR power profiles) can load them here and run the same
+//! pipelines: one numeric column per stream, min-max normalized to `[0,1]`
+//! exactly as the paper prescribes.
+
+use crate::population::Population;
+use crate::stream::Stream;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// Errors raised when loading stream data from disk.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A cell could not be parsed as a number.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// 1-based column number.
+        column: usize,
+        /// The offending cell text.
+        cell: String,
+    },
+    /// The file contained no usable rows.
+    Empty,
+    /// Rows had inconsistent numbers of columns.
+    Ragged {
+        /// 1-based line number of the first inconsistent row.
+        line: usize,
+        /// Columns found on that row.
+        found: usize,
+        /// Columns expected from the first row.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::Parse { line, column, cell } => {
+                write!(f, "line {line}, column {column}: cannot parse {cell:?} as a number")
+            }
+            Self::Empty => write!(f, "no usable rows in file"),
+            Self::Ragged {
+                line,
+                found,
+                expected,
+            } => write!(f, "line {line}: {found} columns, expected {expected}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+fn parse_rows(
+    text: &str,
+    delimiter: char,
+    skip_header: bool,
+) -> Result<Vec<Vec<f64>>, LoadError> {
+    let mut rows = Vec::new();
+    let mut expected = None;
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() || (skip_header && idx == 0) {
+            continue;
+        }
+        let mut row = Vec::new();
+        for (col, cell) in line.split(delimiter).enumerate() {
+            let cell = cell.trim();
+            let value: f64 = cell.parse().map_err(|_| LoadError::Parse {
+                line: idx + 1,
+                column: col + 1,
+                cell: cell.to_owned(),
+            })?;
+            row.push(value);
+        }
+        match expected {
+            None => expected = Some(row.len()),
+            Some(e) if e != row.len() => {
+                return Err(LoadError::Ragged {
+                    line: idx + 1,
+                    found: row.len(),
+                    expected: e,
+                })
+            }
+            _ => {}
+        }
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err(LoadError::Empty);
+    }
+    Ok(rows)
+}
+
+/// Loads a single stream from a one-value-per-row CSV (column `column`,
+/// 0-based), min-max normalized to `[0, 1]`.
+///
+/// # Errors
+/// Returns a [`LoadError`] on I/O, parse, or shape problems.
+pub fn load_stream_csv(
+    path: &Path,
+    column: usize,
+    skip_header: bool,
+) -> Result<Stream, LoadError> {
+    let text = fs::read_to_string(path)?;
+    let rows = parse_rows(&text, ',', skip_header)?;
+    let mut values = Vec::with_capacity(rows.len());
+    for (idx, row) in rows.iter().enumerate() {
+        let v = *row.get(column).ok_or(LoadError::Ragged {
+            line: idx + 1,
+            found: row.len(),
+            expected: column + 1,
+        })?;
+        values.push(v);
+    }
+    let mut s = Stream::new(values);
+    s.normalize_unit();
+    Ok(s)
+}
+
+/// Loads a population from a one-user-per-row CSV (each row is one user's
+/// full stream), jointly min-max normalized to `[0, 1]` so users stay
+/// comparable (the paper normalizes each dataset globally).
+///
+/// # Errors
+/// Returns a [`LoadError`] on I/O, parse, or shape problems.
+pub fn load_population_csv(path: &Path, skip_header: bool) -> Result<Population, LoadError> {
+    let text = fs::read_to_string(path)?;
+    let rows = parse_rows(&text, ',', skip_header)?;
+    let lo = rows
+        .iter()
+        .flatten()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    let hi = rows
+        .iter()
+        .flatten()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    let width = hi - lo;
+    let normalize = |v: f64| if width == 0.0 { 0.5 } else { (v - lo) / width };
+    Ok(rows
+        .into_iter()
+        .map(|row| Stream::new(row.into_iter().map(normalize).collect()))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+
+    fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!("ldp_streams_io_{name}_{}", std::process::id()));
+        let mut f = fs::File::create(&path).unwrap();
+        f.write_all(contents.as_bytes()).unwrap();
+        path
+    }
+
+    #[test]
+    fn loads_single_column_stream() {
+        let path = write_temp("single", "value\n1.0\n3.0\n2.0\n");
+        let s = load_stream_csv(&path, 0, true).unwrap();
+        assert_eq!(s.values(), &[0.0, 1.0, 0.5]);
+        fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn loads_selected_column() {
+        let path = write_temp("col", "10,0\n20,5\n30,10\n");
+        let s = load_stream_csv(&path, 1, false).unwrap();
+        assert_eq!(s.values(), &[0.0, 0.5, 1.0]);
+        fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn loads_population_with_global_normalization() {
+        let path = write_temp("pop", "0,2\n4,2\n");
+        let p = load_population_csv(&path, false).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.users()[0].values(), &[0.0, 0.5]);
+        assert_eq!(p.users()[1].values(), &[1.0, 0.5]);
+        fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn reports_parse_errors_with_location() {
+        let path = write_temp("bad", "1.0\nnot_a_number\n");
+        let err = load_stream_csv(&path, 0, false).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+        fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let path = write_temp("ragged", "1,2\n3\n");
+        let err = load_population_csv(&path, false).unwrap_err();
+        assert!(matches!(err, LoadError::Ragged { line: 2, .. }), "{err}");
+        fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn rejects_empty_files() {
+        let path = write_temp("empty", "\n\n");
+        assert!(matches!(
+            load_stream_csv(&path, 0, false),
+            Err(LoadError::Empty)
+        ));
+        fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err =
+            load_stream_csv(Path::new("/nonexistent/ldp.csv"), 0, false).unwrap_err();
+        assert!(matches!(err, LoadError::Io(_)));
+    }
+}

@@ -1,0 +1,20 @@
+//! Stream-data substrate for LDP stream publication.
+//!
+//! Provides the data types the algorithms operate on — [`Stream`] (one
+//! user's numeric time series), [`Population`] (many users),
+//! [`MultiDimStream`] (one user, many dimensions) — plus sliding-window
+//! utilities implementing the *w-neighboring* relation of w-event privacy,
+//! and deterministic synthetic generators standing in for the four
+//! real-world datasets of the paper's evaluation (see `DESIGN.md` §4 for
+//! the substitution rationale).
+
+pub mod io;
+pub mod population;
+pub mod stream;
+pub mod synthetic;
+pub mod window;
+
+pub use io::{load_population_csv, load_stream_csv, LoadError};
+pub use population::{MultiDimStream, Population};
+pub use stream::Stream;
+pub use window::{are_w_neighboring, SlidingWindows};

@@ -1,0 +1,166 @@
+//! Multi-user and multi-dimensional stream containers.
+
+use crate::stream::Stream;
+
+/// A population of users, each owning one [`Stream`] (the crowd-level
+/// setting of the paper's Figure 8 / Theorem 5).
+#[derive(Debug, Clone, Default)]
+pub struct Population {
+    users: Vec<Stream>,
+}
+
+impl Population {
+    /// Wraps per-user streams.
+    #[must_use]
+    pub fn new(users: Vec<Stream>) -> Self {
+        Self { users }
+    }
+
+    /// Number of users.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Whether there are no users.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// Borrow the users.
+    #[must_use]
+    pub fn users(&self) -> &[Stream] {
+        &self.users
+    }
+
+    /// Iterate over user streams.
+    pub fn iter(&self) -> impl Iterator<Item = &Stream> {
+        self.users.iter()
+    }
+
+    /// True means of each user's subsequence `range` — the ground-truth
+    /// population distribution for crowd-level statistics.
+    ///
+    /// # Panics
+    /// Panics if `range` is out of bounds for any user.
+    #[must_use]
+    pub fn subsequence_means(&self, range: std::ops::Range<usize>) -> Vec<f64> {
+        self.users
+            .iter()
+            .map(|u| {
+                let s = u.subsequence(range.clone());
+                s.iter().sum::<f64>() / s.len() as f64
+            })
+            .collect()
+    }
+}
+
+impl FromIterator<Stream> for Population {
+    fn from_iter<T: IntoIterator<Item = Stream>>(iter: T) -> Self {
+        Self::new(iter.into_iter().collect())
+    }
+}
+
+/// One user's `d`-dimensional time series (e.g. a trajectory), stored as
+/// one [`Stream`] per dimension, all of equal length.
+#[derive(Debug, Clone)]
+pub struct MultiDimStream {
+    dims: Vec<Stream>,
+}
+
+impl MultiDimStream {
+    /// Wraps per-dimension streams.
+    ///
+    /// # Panics
+    /// Panics if dimensions have unequal lengths or `dims` is empty.
+    #[must_use]
+    pub fn new(dims: Vec<Stream>) -> Self {
+        assert!(!dims.is_empty(), "MultiDimStream: no dimensions");
+        let len = dims[0].len();
+        assert!(
+            dims.iter().all(|d| d.len() == len),
+            "MultiDimStream: unequal dimension lengths"
+        );
+        Self { dims }
+    }
+
+    /// Number of dimensions `d`.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Number of time slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.dims[0].len()
+    }
+
+    /// Whether the series has no time slots.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.dims[0].is_empty()
+    }
+
+    /// Borrow one dimension.
+    ///
+    /// # Panics
+    /// Panics if `d` is out of range.
+    #[must_use]
+    pub fn dim(&self, d: usize) -> &Stream {
+        &self.dims[d]
+    }
+
+    /// Iterate over dimensions.
+    pub fn iter(&self) -> impl Iterator<Item = &Stream> {
+        self.dims.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn population_subsequence_means() {
+        let p = Population::new(vec![
+            Stream::new(vec![0.0, 1.0, 1.0]),
+            Stream::new(vec![1.0, 0.0, 0.0]),
+        ]);
+        let means = p.subsequence_means(1..3);
+        assert_eq!(means, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn population_from_iterator() {
+        let p: Population = (0..3).map(|_| Stream::new(vec![0.5])).collect();
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn multidim_accessors() {
+        let m = MultiDimStream::new(vec![
+            Stream::new(vec![0.1, 0.2]),
+            Stream::new(vec![0.3, 0.4]),
+        ]);
+        assert_eq!(m.dims(), 2);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.dim(1).values(), &[0.3, 0.4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unequal dimension lengths")]
+    fn multidim_rejects_ragged() {
+        let _ = MultiDimStream::new(vec![
+            Stream::new(vec![0.1]),
+            Stream::new(vec![0.3, 0.4]),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no dimensions")]
+    fn multidim_rejects_empty() {
+        let _ = MultiDimStream::new(vec![]);
+    }
+}

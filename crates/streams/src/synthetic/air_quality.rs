@@ -1,0 +1,72 @@
+//! Synthetic stand-in for the UCI Air-Quality benzene (C6H6)
+//! concentration stream (9,358 hourly instances, 2004–2005).
+
+use super::rng;
+use crate::stream::Stream;
+use rand::Rng;
+
+/// Canonical length of the real C6H6 dataset.
+pub const C6H6_LEN: usize = 9_358;
+
+/// Generates an hourly benzene-concentration-like stream: an AR(1) process
+/// (strong hour-to-hour correlation) superimposed on a diurnal traffic-
+/// driven cycle with occasional pollution spikes — normalized to `[0, 1]`.
+#[must_use]
+pub fn c6h6(len: usize, seed: u64) -> Stream {
+    let mut r = rng(seed ^ 0x4336_4836); // "C6H6"
+    let phi = 0.92;
+    let mut ar = 0.0f64;
+    let mut spike = 0.0f64;
+    let values: Vec<f64> = (0..len)
+        .map(|t| {
+            let hour = (t % 24) as f64;
+            // Traffic-correlated diurnal base.
+            let diurnal = 0.4
+                + 0.25 * (-((hour - 9.0) / 3.0).powi(2)).exp()
+                + 0.3 * (-((hour - 18.0) / 3.0).powi(2)).exp();
+            ar = phi * ar + (1.0 - phi) * 2.0 * (r.gen::<f64>() - 0.5);
+            // Rare pollution episodes that decay geometrically.
+            if r.gen::<f64>() < 0.01 {
+                spike += 0.8 + 0.4 * r.gen::<f64>();
+            }
+            spike *= 0.85;
+            (diurnal + 0.5 * ar + spike).max(0.0)
+        })
+        .collect();
+    let mut s = Stream::new(values);
+    s.normalize_unit();
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalized_to_unit_interval() {
+        let s = c6h6(3000, 5);
+        assert!(s.min() >= 0.0 && s.max() <= 1.0);
+    }
+
+    #[test]
+    fn strong_lag1_autocorrelation() {
+        let s = c6h6(5000, 6);
+        let v = s.values();
+        let mean = s.mean();
+        let var: f64 = v.iter().map(|x| (x - mean) * (x - mean)).sum();
+        let cov: f64 = v
+            .windows(2)
+            .map(|w| (w[0] - mean) * (w[1] - mean))
+            .sum();
+        let rho = cov / var;
+        assert!(rho > 0.7, "lag-1 autocorrelation too weak: {rho}");
+    }
+
+    #[test]
+    fn contains_spikes() {
+        let s = c6h6(8000, 7);
+        let mean = s.mean();
+        let peak = s.max();
+        assert!(peak > mean * 2.0, "expected pollution spikes above the mean");
+    }
+}

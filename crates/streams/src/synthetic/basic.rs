@@ -1,0 +1,59 @@
+//! Analytic series used for the paper's sensitivity analysis (Figure 11).
+
+use crate::stream::Stream;
+
+/// A constant stream of `value` (the paper uses `x = 0.1`).
+#[must_use]
+pub fn constant(len: usize, value: f64) -> Stream {
+    Stream::new(vec![value; len])
+}
+
+/// The paper's Pulse series: zeros with a `1` inserted every five points.
+#[must_use]
+pub fn pulse(len: usize) -> Stream {
+    Stream::new(
+        (0..len)
+            .map(|i| if i % 5 == 0 { 1.0 } else { 0.0 })
+            .collect(),
+    )
+}
+
+/// A sinusoid normalized into `[0, 1]`: `0.5 + 0.5·sin(2π·freq·t)`.
+#[must_use]
+pub fn sinusoidal(len: usize, freq: f64) -> Stream {
+    Stream::new(
+        (0..len)
+            .map(|t| 0.5 + 0.5 * (2.0 * std::f64::consts::PI * freq * t as f64).sin())
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = constant(10, 0.1);
+        assert!(s.values().iter().all(|&v| v == 0.1));
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn pulse_pattern() {
+        let s = pulse(11);
+        assert_eq!(s.values()[0], 1.0);
+        assert_eq!(s.values()[5], 1.0);
+        assert_eq!(s.values()[10], 1.0);
+        assert_eq!(s.values().iter().filter(|&&v| v == 1.0).count(), 3);
+    }
+
+    #[test]
+    fn sinusoidal_in_unit_range_and_periodic() {
+        let s = sinusoidal(200, 0.05); // period 20
+        assert!(s.min() >= 0.0 && s.max() <= 1.0);
+        for t in 0..180 {
+            assert!((s.values()[t] - s.values()[t + 20]).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! High-dimensional sinusoidal series (the paper's "Sin-data", Figure 10).
+
+use super::rng;
+use crate::population::MultiDimStream;
+use crate::stream::Stream;
+use rand::Rng;
+
+/// Generates a `d`-dimensional series where each dimension follows a
+/// sinusoid with its own frequency and phase (the paper: "each dimension
+/// follows a sinusoidal function with varying frequency parameters"),
+/// normalized into `[0, 1]`.
+///
+/// # Panics
+/// Panics if `d == 0`.
+#[must_use]
+pub fn sin_multidim(d: usize, len: usize, seed: u64) -> MultiDimStream {
+    assert!(d > 0, "sin_multidim: need at least one dimension");
+    let mut r = rng(seed ^ 0x5349_4e44); // "SIND"
+    let dims = (0..d)
+        .map(|k| {
+            let freq = 0.02 * (k as f64 + 1.0) * (0.8 + 0.4 * r.gen::<f64>());
+            let phase = 2.0 * std::f64::consts::PI * r.gen::<f64>();
+            Stream::new(
+                (0..len)
+                    .map(|t| {
+                        0.5 + 0.5
+                            * (2.0 * std::f64::consts::PI * freq * t as f64 + phase).sin()
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    MultiDimStream::new(dims)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensions_and_range() {
+        let m = sin_multidim(5, 300, 1);
+        assert_eq!(m.dims(), 5);
+        assert_eq!(m.len(), 300);
+        for dim in m.iter() {
+            assert!(dim.min() >= 0.0 && dim.max() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn dimensions_have_distinct_frequencies() {
+        let m = sin_multidim(3, 1000, 2);
+        // Count mean crossings as a crude frequency proxy.
+        let crossings = |s: &Stream| {
+            s.values()
+                .windows(2)
+                .filter(|w| (w[0] - 0.5) * (w[1] - 0.5) < 0.0)
+                .count()
+        };
+        let c0 = crossings(m.dim(0));
+        let c2 = crossings(m.dim(2));
+        assert!(c2 > c0, "dimension 2 should oscillate faster: {c0} vs {c2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dimension")]
+    fn zero_dims_panics() {
+        let _ = sin_multidim(0, 10, 1);
+    }
+}

@@ -1,0 +1,92 @@
+//! Synthetic stand-in for the UCR power-usage dataset (25,562 electrical
+//! devices, 96 slots each).
+//!
+//! The property the paper's discussion leans on — "many subsequences in the
+//! Power dataset are entirely composed of a unique constant value" (the
+//! regime where BA-SW shines) — is guaranteed by construction: a fraction
+//! of devices stay at one level for the whole day, and active devices are
+//! piecewise-constant with a handful of switching points.
+
+use super::rng;
+use crate::population::Population;
+use crate::stream::Stream;
+use rand::Rng;
+
+/// Canonical number of slots per device profile.
+pub const POWER_LEN: usize = 96;
+/// Canonical number of devices in the real dataset.
+pub const POWER_USERS: usize = 25_562;
+
+/// Fraction of devices that never switch (fully constant profiles).
+const CONSTANT_FRACTION: f64 = 0.35;
+
+/// Generates piecewise-constant daily device power profiles in `[0, 1]`.
+#[must_use]
+pub fn power_population(devices: usize, len: usize, seed: u64) -> Population {
+    let mut r = rng(seed ^ 0x504f_5745); // "POWE"
+    (0..devices)
+        .map(|_| {
+            let base = 0.05 + 0.3 * r.gen::<f64>();
+            if r.gen::<f64>() < CONSTANT_FRACTION || len == 0 {
+                return Stream::new(vec![base; len]);
+            }
+            // 1–4 on/off switch points at random slots.
+            let switches = 1 + (r.gen::<f64>() * 4.0) as usize;
+            let mut points: Vec<usize> = (0..switches).map(|_| r.gen_range(0..len)).collect();
+            points.sort_unstable();
+            points.dedup();
+            let mut level = base;
+            let mut next = points.into_iter().peekable();
+            let values: Vec<f64> = (0..len)
+                .map(|t| {
+                    if next.peek() == Some(&t) {
+                        next.next();
+                        // Toggle between standby and an active level.
+                        level = if level <= 0.4 {
+                            0.5 + 0.45 * r.gen::<f64>()
+                        } else {
+                            base
+                        };
+                    }
+                    level
+                })
+                .collect();
+            Stream::new(values)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensions_and_range() {
+        let p = power_population(50, POWER_LEN, 1);
+        assert_eq!(p.len(), 50);
+        for s in p.iter() {
+            assert_eq!(s.len(), POWER_LEN);
+            assert!(s.min() >= 0.0 && s.max() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn many_profiles_are_fully_constant() {
+        let p = power_population(400, 96, 2);
+        let constant = p
+            .iter()
+            .filter(|s| s.values().windows(2).all(|w| w[0] == w[1]))
+            .count();
+        // ~35% by construction; allow wide tolerance.
+        assert!(constant > 80, "only {constant}/400 constant profiles");
+    }
+
+    #[test]
+    fn active_profiles_are_piecewise_constant() {
+        let p = power_population(200, 96, 3);
+        for s in p.iter() {
+            let changes = s.values().windows(2).filter(|w| w[0] != w[1]).count();
+            assert!(changes <= 8, "too many level changes: {changes}");
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Synthetic stand-in for the T-Drive Beijing taxi latitude traces
+//! (1,500 drivers × 1,307 timestamps in the paper's extraction).
+
+use super::rng;
+use crate::population::Population;
+use crate::stream::Stream;
+use rand::Rng;
+
+/// Canonical population size and length used by the paper.
+pub const TAXI_USERS: usize = 1_500;
+/// Canonical trace length used by the paper.
+pub const TAXI_LEN: usize = 1_307;
+
+/// Generates a population of latitude-like traces: each driver performs a
+/// bounded, mean-reverting random walk around an individual home location
+/// (drivers cover different city districts), normalized jointly to `[0, 1]`.
+#[must_use]
+pub fn taxi_population(users: usize, len: usize, seed: u64) -> Population {
+    let mut r = rng(seed ^ 0x5441_5849); // "TAXI"
+    (0..users)
+        .map(|_| {
+            let home = 0.2 + 0.6 * r.gen::<f64>();
+            let mut pos = home;
+            let values: Vec<f64> = (0..len)
+                .map(|_| {
+                    // Mean-reverting walk: trips away from home, drift back.
+                    let step = 0.03 * (r.gen::<f64>() - 0.5) + 0.02 * (home - pos);
+                    pos = (pos + step).clamp(0.0, 1.0);
+                    pos
+                })
+                .collect();
+            Stream::new(values)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn population_dimensions() {
+        let p = taxi_population(10, 100, 1);
+        assert_eq!(p.len(), 10);
+        assert!(p.iter().all(|s| s.len() == 100));
+    }
+
+    #[test]
+    fn values_in_unit_interval() {
+        let p = taxi_population(20, 200, 2);
+        for s in p.iter() {
+            assert!(s.min() >= 0.0 && s.max() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn traces_are_smooth() {
+        // Latitude traces move slowly: adjacent deltas stay small.
+        let p = taxi_population(5, 500, 3);
+        for s in p.iter() {
+            let max_step = s
+                .values()
+                .windows(2)
+                .map(|w| (w[1] - w[0]).abs())
+                .fold(0.0, f64::max);
+            assert!(max_step < 0.1, "step {max_step} too large for a trace");
+        }
+    }
+
+    #[test]
+    fn users_cover_different_locations() {
+        let p = taxi_population(50, 50, 4);
+        let means: Vec<f64> = p.iter().map(Stream::mean).collect();
+        let lo = means.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = means.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!(hi - lo > 0.2, "homes too concentrated: [{lo}, {hi}]");
+    }
+}

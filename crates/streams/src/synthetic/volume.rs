@@ -1,0 +1,79 @@
+//! Synthetic stand-in for the MNDoT Interstate-94 hourly traffic volume
+//! stream (ATR station 301, 48,204 valid entries).
+
+use super::rng;
+use crate::stream::Stream;
+use rand::Rng;
+
+/// Canonical length of the real Volume dataset.
+pub const VOLUME_LEN: usize = 48_204;
+
+/// Generates an hourly westbound traffic-volume-like stream: a strong
+/// diurnal cycle with morning/evening rush-hour peaks, weekend attenuation,
+/// and multiplicative noise — min-max normalized to `[0, 1]`.
+#[must_use]
+pub fn volume(len: usize, seed: u64) -> Stream {
+    let mut r = rng(seed ^ 0x564f_4c55_4d45); // "VOLUME"
+    let values: Vec<f64> = (0..len)
+        .map(|t| {
+            let hour = (t % 24) as f64;
+            let day = (t / 24) % 7;
+            // Rush-hour bumps at 08:00 and 17:00.
+            let morning = (-((hour - 8.0) / 2.0).powi(2)).exp();
+            let evening = (-((hour - 17.0) / 2.5).powi(2)).exp();
+            let night_base = 0.12 + 0.08 * ((hour - 13.0).abs() / 13.0);
+            let weekday_factor = if day >= 5 { 0.55 } else { 1.0 };
+            let signal = weekday_factor * (night_base + 0.9 * morning + 1.0 * evening);
+            let noise = 1.0 + 0.12 * (r.gen::<f64>() - 0.5);
+            (signal * noise).max(0.0)
+        })
+        .collect();
+    let mut s = Stream::new(values);
+    s.normalize_unit();
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalized_to_unit_interval() {
+        let s = volume(2000, 1);
+        assert!(s.min() >= 0.0 && s.max() <= 1.0);
+        assert!((s.max() - 1.0).abs() < 1e-12 && s.min().abs() < 1e-12);
+    }
+
+    #[test]
+    fn has_diurnal_structure() {
+        let s = volume(24 * 28, 2);
+        // Average 17:00 value (weekdays included) exceeds average 03:00 value.
+        let avg_at = |h: usize| {
+            let vals: Vec<f64> = s
+                .values()
+                .iter()
+                .enumerate()
+                .filter(|(t, _)| t % 24 == h)
+                .map(|(_, &v)| v)
+                .collect();
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
+        assert!(avg_at(17) > 2.0 * avg_at(3), "rush hour not visible");
+    }
+
+    #[test]
+    fn weekends_are_quieter() {
+        let s = volume(24 * 70, 3);
+        let avg_day = |d: usize| {
+            let vals: Vec<f64> = s
+                .values()
+                .iter()
+                .enumerate()
+                .filter(|(t, _)| (t / 24) % 7 == d)
+                .map(|(_, &v)| v)
+                .collect();
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
+        assert!(avg_day(6) < avg_day(2), "weekend should be quieter than Wednesday");
+    }
+}

@@ -1,0 +1,109 @@
+//! Sliding windows and the w-neighboring relation of w-event privacy.
+
+/// Iterator over all contiguous windows of length `w` of a slice
+/// (the sliding windows in which w-event privacy constrains the budget).
+#[derive(Debug, Clone)]
+pub struct SlidingWindows<'a> {
+    data: &'a [f64],
+    w: usize,
+    pos: usize,
+}
+
+impl<'a> SlidingWindows<'a> {
+    /// Creates a window iterator; yields nothing when `w == 0` or
+    /// `w > data.len()`.
+    #[must_use]
+    pub fn new(data: &'a [f64], w: usize) -> Self {
+        Self { data, w, pos: 0 }
+    }
+}
+
+impl<'a> Iterator for SlidingWindows<'a> {
+    type Item = &'a [f64];
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.w == 0 || self.pos + self.w > self.data.len() {
+            return None;
+        }
+        let out = &self.data[self.pos..self.pos + self.w];
+        self.pos += 1;
+        Some(out)
+    }
+}
+
+/// Checks the paper's Definition 2: streams `s` and `s'` are
+/// *w-neighboring* if all their differing positions fit inside one window
+/// of `w` consecutive slots.
+///
+/// Returns `false` for length mismatch. Identical streams are trivially
+/// w-neighboring for any `w ≥ 1`.
+#[must_use]
+pub fn are_w_neighboring(s: &[f64], s_prime: &[f64], w: usize) -> bool {
+    if s.len() != s_prime.len() || w == 0 {
+        return false;
+    }
+    let mut first_diff = None;
+    let mut last_diff = None;
+    for (i, (a, b)) in s.iter().zip(s_prime).enumerate() {
+        if a != b {
+            first_diff.get_or_insert(i);
+            last_diff = Some(i);
+        }
+    }
+    match (first_diff, last_diff) {
+        (Some(i), Some(j)) => j - i < w,
+        _ => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yields_every_window() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        let ws: Vec<&[f64]> = SlidingWindows::new(&data, 2).collect();
+        assert_eq!(ws, vec![&[1.0, 2.0][..], &[2.0, 3.0], &[3.0, 4.0]]);
+    }
+
+    #[test]
+    fn window_equal_to_len_yields_one() {
+        let data = [1.0, 2.0];
+        assert_eq!(SlidingWindows::new(&data, 2).count(), 1);
+    }
+
+    #[test]
+    fn oversized_or_zero_window_yields_none() {
+        let data = [1.0];
+        assert_eq!(SlidingWindows::new(&data, 2).count(), 0);
+        assert_eq!(SlidingWindows::new(&data, 0).count(), 0);
+    }
+
+    #[test]
+    fn identical_streams_are_neighboring() {
+        let s = [0.1, 0.2, 0.3];
+        assert!(are_w_neighboring(&s, &s, 1));
+    }
+
+    #[test]
+    fn differences_within_window_are_neighboring() {
+        let a = [0.0, 1.0, 1.0, 0.0, 0.0];
+        let b = [0.0, 9.0, 8.0, 0.0, 0.0]; // diffs at slots 1..=2, span 2
+        assert!(are_w_neighboring(&a, &b, 2));
+        assert!(!are_w_neighboring(&a, &b, 1));
+    }
+
+    #[test]
+    fn spread_differences_are_not_neighboring() {
+        let a = [0.0, 0.0, 0.0, 0.0, 0.0];
+        let b = [1.0, 0.0, 0.0, 0.0, 1.0]; // span 5
+        assert!(!are_w_neighboring(&a, &b, 4));
+        assert!(are_w_neighboring(&a, &b, 5));
+    }
+
+    #[test]
+    fn length_mismatch_is_not_neighboring() {
+        assert!(!are_w_neighboring(&[1.0], &[1.0, 2.0], 3));
+    }
+}

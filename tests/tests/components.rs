@@ -1,0 +1,163 @@
+//! Component-interaction tests: sampling internals, high-dimensional
+//! splits, the EM estimator, and the CSV loaders wired into the pipeline.
+
+use integration_tests::test_rng;
+use ldp_core::highdim::{publish_multidim, SplitStrategy};
+use ldp_core::{optimal_sample_count, PpKind, Sampling, StreamMechanism};
+use ldp_metrics::{cosine_distance, mse};
+use ldp_streams::synthetic::{sin_multidim, volume};
+use ldp_streams::{load_population_csv, load_stream_csv, Stream};
+use std::io::Write as _;
+
+/// The n_s optimizer truly minimizes the paper's objective
+/// `n_s · Var(n_s, ε)`: its pick is never beaten by any other candidate.
+#[test]
+fn sample_count_minimizes_objective() {
+    use ldp_core::sampling::variance_of_sample_variance;
+    use ldp_mechanisms::SquareWave;
+    for &(eps, w, q) in &[(1.0f64, 5usize, 60usize), (1.0, 50, 60), (3.0, 20, 30)] {
+        let picked = optimal_sample_count(eps, w, q);
+        let objective = |ns: usize| {
+            let seg_len = (q / ns).max(1);
+            let nw = w.div_ceil(seg_len).max(1);
+            let sw = SquareWave::new(eps / nw as f64).unwrap();
+            ns as f64 * variance_of_sample_variance(&sw, ns)
+        };
+        let best = objective(picked);
+        for ns in 2..=q {
+            if q / ns == 0 {
+                break;
+            }
+            assert!(
+                best <= objective(ns) + 1e-12,
+                "(eps={eps}, w={w}, q={q}): picked {picked} beaten by {ns}"
+            );
+        }
+    }
+}
+
+/// Segment replication: the published stream's distinct-value count equals
+/// the segment count.
+#[test]
+fn sampling_publishes_exactly_ns_distinct_values() {
+    let algo = Sampling::new(PpKind::Capp, 2.0, 10)
+        .unwrap()
+        .with_sample_count(5);
+    let data = volume(400, 31);
+    let out = algo.publish(&data.values()[..100], &mut test_rng(32));
+    let mut distinct: Vec<f64> = out.clone();
+    distinct.sort_by(f64::total_cmp);
+    distinct.dedup();
+    assert_eq!(distinct.len(), 5);
+}
+
+/// Budget-Split and Sample-Split both return one full-length stream per
+/// dimension, and more budget improves both.
+#[test]
+fn highdim_strategies_improve_with_budget() {
+    let series = sin_multidim(4, 200, 33);
+    let mut rng = test_rng(34);
+    for strategy in [SplitStrategy::BudgetSplit, SplitStrategy::SampleSplit] {
+        let errs: Vec<f64> = [0.5, 16.0]
+            .iter()
+            .map(|&eps| {
+                let published =
+                    publish_multidim(&series, PpKind::App, strategy, eps, 10, &mut rng)
+                        .unwrap();
+                (0..4)
+                    .map(|k| mse(&published[k], series.dim(k).values()))
+                    .sum::<f64>()
+            })
+            .collect();
+        assert!(
+            errs[1] < errs[0],
+            "{}: ε=16 error {} should beat ε=0.5 {}",
+            strategy.label(),
+            errs[1],
+            errs[0]
+        );
+    }
+}
+
+/// CSV loaders feed the pipeline end to end: write a stream to disk, load
+/// it, publish it, and verify structural invariants.
+#[test]
+fn csv_roundtrip_through_publication() {
+    let mut path = std::env::temp_dir();
+    path.push(format!("ldp_it_csv_{}.csv", std::process::id()));
+    {
+        let mut f = std::fs::File::create(&path).unwrap();
+        writeln!(f, "reading").unwrap();
+        for i in 0..50 {
+            writeln!(f, "{}", 10.0 + (i as f64 / 5.0).sin() * 3.0).unwrap();
+        }
+    }
+    let stream = load_stream_csv(&path, 0, true).unwrap();
+    assert_eq!(stream.len(), 50);
+    assert!(stream.min() >= 0.0 && stream.max() <= 1.0);
+    let capp = ldp_core::Capp::new(1.0, 10).unwrap();
+    let out = capp.publish(stream.values(), &mut test_rng(35));
+    assert_eq!(out.len(), 50);
+    std::fs::remove_file(path).unwrap();
+}
+
+/// Population CSVs preserve user count and joint normalization through the
+/// crowd pipeline.
+#[test]
+fn population_csv_through_crowd_estimation() {
+    let mut path = std::env::temp_dir();
+    path.push(format!("ldp_it_pop_{}.csv", std::process::id()));
+    {
+        let mut f = std::fs::File::create(&path).unwrap();
+        for u in 0..20 {
+            let row: Vec<String> = (0..30)
+                .map(|t| format!("{}", u as f64 + (t as f64 / 3.0).cos()))
+                .collect();
+            writeln!(f, "{}", row.join(",")).unwrap();
+        }
+    }
+    let pop = load_population_csv(&path, false).unwrap();
+    assert_eq!(pop.len(), 20);
+    let algo = ldp_core::App::new(4.0, 10).unwrap();
+    let est =
+        ldp_core::crowd::estimated_population_means(&pop, 0..30, &algo, &mut test_rng(36));
+    assert_eq!(est.len(), 20);
+    assert!(est.iter().all(|m| m.is_finite()));
+    std::fs::remove_file(path).unwrap();
+}
+
+/// Cosine distance of published streams falls as the budget grows, for the
+/// full PP family (Figure 5's monotone trend).
+#[test]
+fn cosine_distance_improves_with_budget() {
+    let data = volume(1_000, 37);
+    let slice = &data.values()[200..400];
+    let mut rng = test_rng(38);
+    for make in [
+        |e: f64| Box::new(ldp_core::App::new(e, 10).unwrap()) as Box<dyn StreamMechanism>,
+        |e: f64| Box::new(ldp_core::Capp::new(e, 10).unwrap()) as Box<dyn StreamMechanism>,
+    ] {
+        let avg = |eps: f64, rng: &mut rand::rngs::StdRng| {
+            let algo = make(eps);
+            (0..20)
+                .map(|_| cosine_distance(&algo.publish(slice, rng), slice))
+                .sum::<f64>()
+                / 20.0
+        };
+        let lo = avg(0.5, &mut rng);
+        let hi = avg(30.0, &mut rng);
+        assert!(hi < lo, "ε=30 cosine {hi} should beat ε=0.5 {lo}");
+    }
+}
+
+/// Streams built from iterators interoperate with every publisher.
+#[test]
+fn stream_construction_paths_agree() {
+    let a: Stream = (0..10).map(|i| i as f64 / 10.0).collect();
+    let b = Stream::new((0..10).map(|i| i as f64 / 10.0).collect());
+    assert_eq!(a, b);
+    let capp = ldp_core::Capp::new(1.0, 5).unwrap();
+    let out_a = capp.publish(a.values(), &mut test_rng(39));
+    let out_b = capp.publish(b.values(), &mut test_rng(39));
+    assert_eq!(out_a, out_b);
+}
