@@ -66,7 +66,9 @@ mod tests {
     fn loses_to_app_sampling_for_mean_estimation() {
         // PP-S's feedback should beat naive sampling (Fig 6 ordering).
         let (eps, w, q) = (1.0, 20, 30);
-        let xs: Vec<f64> = (0..q).map(|i| 0.35 + 0.3 * (i as f64 / 5.0).sin()).collect();
+        let xs: Vec<f64> = (0..q)
+            .map(|i| 0.35 + 0.3 * (i as f64 / 5.0).sin())
+            .collect();
         let truth = xs.iter().sum::<f64>() / q as f64;
         let naive = NaiveSampling::new(eps, w).unwrap();
         let apps = Sampling::new(PpKind::App, eps, w).unwrap();

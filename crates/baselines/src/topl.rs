@@ -95,10 +95,11 @@ impl StreamMechanism for ToPL {
         let sw = SquareWave::new(self.slot_epsilon).expect("validated");
         let hm = Hybrid::new(self.slot_epsilon).expect("validated");
 
-        let phase1_len = ((xs.len() as f64 * PHASE1_FRACTION).ceil() as usize)
-            .clamp(1, xs.len());
-        let phase1_reports: Vec<f64> =
-            xs[..phase1_len].iter().map(|&x| sw.perturb(x, rng)).collect();
+        let phase1_len = ((xs.len() as f64 * PHASE1_FRACTION).ceil() as usize).clamp(1, xs.len());
+        let phase1_reports: Vec<f64> = xs[..phase1_len]
+            .iter()
+            .map(|&x| sw.perturb(x, rng))
+            .collect();
         let theta = self.fit_threshold(&phase1_reports);
 
         let mut out = phase1_reports;

@@ -11,8 +11,8 @@
 //! Run: `cargo bench -p ldp-bench --bench ablations` (scale with
 //! `LDP_TRIALS`).
 
-use ldp_core::{optimal_sample_count, App, Ipp, PpKind, Sampling, StreamMechanism};
 use ldp_baselines::SwDirect;
+use ldp_core::{optimal_sample_count, App, Ipp, PpKind, Sampling, StreamMechanism};
 use ldp_metrics::{cosine_distance, mse, Summary};
 use ldp_streams::synthetic::volume;
 use rand::SeedableRng;
@@ -24,12 +24,7 @@ fn trials() -> usize {
         .unwrap_or(40)
 }
 
-fn trial_metrics(
-    algo: &dyn StreamMechanism,
-    xs: &[f64],
-    n: usize,
-    seed: u64,
-) -> (f64, f64, f64) {
+fn trial_metrics(algo: &dyn StreamMechanism, xs: &[f64], n: usize, seed: u64) -> (f64, f64, f64) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let truth_mean = xs.iter().sum::<f64>() / xs.len() as f64;
     let (mut mean_sq, mut point, mut cosine) = (Summary::new(), Summary::new(), Summary::new());
@@ -60,7 +55,10 @@ fn feedback_ablation(xs: &[f64], n: usize) {
     println!("| feedback | mean MSE | pointwise MSE | cosine distance |");
     println!("|---|---|---|---|");
     let arms: Vec<(&str, Box<dyn StreamMechanism>)> = vec![
-        ("none (SW-direct)", Box::new(SwDirect::new(1.0, 10).unwrap())),
+        (
+            "none (SW-direct)",
+            Box::new(SwDirect::new(1.0, 10).unwrap()),
+        ),
         ("last only (IPP)", Box::new(Ipp::new(1.0, 10).unwrap())),
         (
             "accumulated (APP)",
@@ -89,7 +87,11 @@ fn sample_count_ablation(xs: &[f64], n: usize) {
             .unwrap()
             .with_sample_count(ns);
         let (m, _, c) = trial_metrics(&algo, xs, n, 3000 + ns as u64);
-        let marker = if ns == picked { " ← optimizer pick" } else { "" };
+        let marker = if ns == picked {
+            " ← optimizer pick"
+        } else {
+            ""
+        };
         println!("| {ns}{marker} | {m:.4e} | {c:.4e} |");
     }
     println!();

@@ -34,7 +34,7 @@ fn bench_publish(c: &mut Criterion) {
         ),
     ];
     for (name, algo) in &algos {
-        group.bench_function(*name, |b| {
+        group.bench_function(name, |b| {
             b.iter(|| black_box(algo.publish(black_box(xs), &mut rng)))
         });
     }

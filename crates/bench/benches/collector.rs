@@ -1,0 +1,63 @@
+//! Collector throughput benchmark: drives a simulated client fleet of
+//! `OnlineSession`s through the sharded aggregation engine and reports
+//! end-to-end ingest throughput at ≥ 1M reports.
+//!
+//! Run: `cargo bench -p ldp-bench --bench collector`. Scale with
+//! `LDP_BENCH_USERS` / `LDP_BENCH_SLOTS` (defaults 2,500 × 400 = 1M).
+
+use ldp_collector::{ClientFleet, Collector, CollectorConfig, FleetConfig};
+use ldp_core::SessionKind;
+use ldp_streams::synthetic::taxi_population;
+use std::time::Instant;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let users = env_usize("LDP_BENCH_USERS", 2_500);
+    let slots = env_usize("LDP_BENCH_SLOTS", 400);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    eprintln!(
+        "# collector bench: {users} users x {slots} slots ({} reports), {threads} threads",
+        users * slots
+    );
+
+    let gen_start = Instant::now();
+    let population = taxi_population(users, slots, 0xFEED);
+    eprintln!("# population generated in {:.2?}", gen_start.elapsed());
+
+    for kind in [SessionKind::SwDirect, SessionKind::Capp] {
+        for shards in [1usize, 4, threads.max(1)] {
+            let collector = Collector::new(CollectorConfig {
+                shards,
+                ..CollectorConfig::default()
+            });
+            let fleet = ClientFleet::new(FleetConfig {
+                kind,
+                epsilon: 2.0,
+                w: 10,
+                seed: 7,
+                threads,
+            });
+            let start = Instant::now();
+            let reports = fleet
+                .drive(&population, 0..slots, &collector)
+                .expect("static config");
+            let elapsed = start.elapsed();
+            let snapshot = collector.snapshot();
+            assert_eq!(snapshot.total_reports(), reports);
+            println!(
+                "{:<10} shards={shards:<3} {reports:>9} reports in {elapsed:>9.2?}  ({:>11.0} reports/s)  pop_mean={:.4}",
+                kind.label(),
+                reports as f64 / elapsed.as_secs_f64(),
+                snapshot.population_mean(),
+            );
+        }
+    }
+}

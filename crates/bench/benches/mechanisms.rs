@@ -2,9 +2,7 @@
 //! mechanism, and the SW moment computations used by the optimizers.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use ldp_mechanisms::{
-    Hybrid, Laplace, Mechanism, Piecewise, SquareWave, StochasticRounding,
-};
+use ldp_mechanisms::{Hybrid, Laplace, Mechanism, Piecewise, SquareWave, StochasticRounding};
 use rand::SeedableRng;
 
 fn bench_perturb(c: &mut Criterion) {

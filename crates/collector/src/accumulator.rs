@@ -1,0 +1,184 @@
+//! Per-shard incremental accumulators.
+//!
+//! A shard owns a disjoint subset of users and aggregates their reports
+//! into per-slot moment sums (count / sum / sum-of-squares) plus per-user
+//! running sums. Everything is O(1) per report and mergeable, so shards
+//! aggregate independently and a snapshot reduces them at query time.
+
+use crate::report::SlotReport;
+use std::collections::BTreeMap;
+
+/// Running first and second moments of the reports for one time slot.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SlotStats {
+    /// Number of reports for the slot.
+    pub count: u64,
+    /// Sum of reported values.
+    pub sum: f64,
+    /// Sum of squared reported values.
+    pub sum_sq: f64,
+}
+
+impl SlotStats {
+    /// Folds one value in.
+    pub fn add(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.sum_sq += value * value;
+    }
+
+    /// Folds another accumulator in.
+    pub fn merge(&mut self, other: &SlotStats) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+    }
+
+    /// Mean of the reports, or `None` for an empty slot.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Population variance of the reports, or `None` for an empty slot.
+    #[must_use]
+    pub fn variance(&self) -> Option<f64> {
+        self.mean()
+            .map(|m| (self.sum_sq / self.count as f64 - m * m).max(0.0))
+    }
+}
+
+/// Running sum/count of one user's reports (their windowed mean estimate).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct UserStats {
+    /// Number of reports from the user.
+    pub count: u64,
+    /// Sum of the user's reported values.
+    pub sum: f64,
+}
+
+impl UserStats {
+    /// The user's running mean estimate, or `None` before any report.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+}
+
+/// One shard's aggregation state.
+///
+/// Slot stats are stored densely (indexed by slot), user stats in an
+/// ordered map so merged snapshots list users deterministically.
+#[derive(Debug, Clone, Default)]
+pub struct ShardAccumulator {
+    slots: Vec<SlotStats>,
+    users: BTreeMap<u64, UserStats>,
+    reports: u64,
+}
+
+impl ShardAccumulator {
+    /// An empty shard.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one report in.
+    pub fn ingest(&mut self, report: &SlotReport) {
+        let slot = usize::try_from(report.slot).expect("slot index overflows usize");
+        if slot >= self.slots.len() {
+            self.slots.resize(slot + 1, SlotStats::default());
+        }
+        self.slots[slot].add(report.value);
+        let user = self.users.entry(report.user).or_default();
+        user.count += 1;
+        user.sum += report.value;
+        self.reports += 1;
+    }
+
+    /// Number of reports folded in so far.
+    #[must_use]
+    pub fn reports(&self) -> u64 {
+        self.reports
+    }
+
+    /// Highest slot index seen plus one (the dense slot range).
+    #[must_use]
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Borrows the dense per-slot stats.
+    #[must_use]
+    pub fn slots(&self) -> &[SlotStats] {
+        &self.slots
+    }
+
+    /// Borrows the per-user running stats (ordered by user id).
+    #[must_use]
+    pub fn users(&self) -> &BTreeMap<u64, UserStats> {
+        &self.users
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_stats_moments() {
+        let mut s = SlotStats::default();
+        for v in [1.0, 2.0, 3.0] {
+            s.add(v);
+        }
+        assert_eq!(s.count, 3);
+        assert!((s.mean().unwrap() - 2.0).abs() < 1e-12);
+        assert!((s.variance().unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(SlotStats::default().mean(), None);
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        let mut a = SlotStats::default();
+        let mut b = SlotStats::default();
+        let mut whole = SlotStats::default();
+        for (i, v) in [0.3, 0.7, 0.1, 0.9].iter().enumerate() {
+            if i % 2 == 0 {
+                a.add(*v)
+            } else {
+                b.add(*v)
+            }
+            whole.add(*v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count, whole.count);
+        assert!((a.sum - whole.sum).abs() < 1e-12);
+        assert!((a.sum_sq - whole.sum_sq).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shard_ingest_grows_slots_and_tracks_users() {
+        let mut shard = ShardAccumulator::new();
+        shard.ingest(&SlotReport {
+            user: 3,
+            slot: 5,
+            value: 0.5,
+        });
+        shard.ingest(&SlotReport {
+            user: 3,
+            slot: 6,
+            value: 0.7,
+        });
+        shard.ingest(&SlotReport {
+            user: 9,
+            slot: 5,
+            value: 0.1,
+        });
+        assert_eq!(shard.reports(), 3);
+        assert_eq!(shard.slot_count(), 7);
+        assert_eq!(shard.slots()[5].count, 2);
+        assert_eq!(shard.slots()[0].count, 0);
+        assert!((shard.users()[&3].mean().unwrap() - 0.6).abs() < 1e-12);
+        assert_eq!(shard.users()[&9].count, 1);
+    }
+}

@@ -1,0 +1,306 @@
+//! The sharded collector engine.
+
+use crate::accumulator::ShardAccumulator;
+use crate::report::ReportBatch;
+use crate::snapshot::CollectorSnapshot;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default bound on the dense slot range (see [`CollectorConfig::max_slots`]).
+pub const DEFAULT_MAX_SLOTS: u64 = 1 << 20;
+
+/// Collector tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct CollectorConfig {
+    /// Number of independent shards. Reports are routed by user id, so
+    /// shards only contend when two ingests carry the same shard's users.
+    pub shards: usize,
+    /// Upper bound on accepted slot indices. Slot stats are stored
+    /// densely, so without a bound one buggy or malicious client could
+    /// force an enormous allocation with a single report; reports with
+    /// `slot >= max_slots` are dropped and counted in
+    /// [`Collector::dropped_reports`].
+    pub max_slots: u64,
+}
+
+impl Default for CollectorConfig {
+    /// One shard per available core (capped at 16); slot bound
+    /// [`DEFAULT_MAX_SLOTS`].
+    fn default() -> Self {
+        let shards = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(16);
+        Self {
+            shards,
+            max_slots: DEFAULT_MAX_SLOTS,
+        }
+    }
+}
+
+/// A sharded, incremental aggregation engine for perturbed slot reports.
+///
+/// Thread-safe: `ingest` takes `&self`, so any number of client threads
+/// can upload concurrently. Each report is routed to the shard owning its
+/// user; a batch locks each shard at most once.
+#[derive(Debug)]
+pub struct Collector {
+    shards: Vec<Mutex<ShardAccumulator>>,
+    max_slots: u64,
+    dropped: AtomicU64,
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Self::new(CollectorConfig::default())
+    }
+}
+
+impl Collector {
+    /// Creates an engine with the configured shard count.
+    ///
+    /// # Panics
+    /// Panics if `config.shards == 0`.
+    #[must_use]
+    pub fn new(config: CollectorConfig) -> Self {
+        assert!(config.shards > 0, "collector needs at least one shard");
+        Self {
+            shards: (0..config.shards)
+                .map(|_| Mutex::new(ShardAccumulator::new()))
+                .collect(),
+            max_slots: config.max_slots,
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning `user` (Fibonacci multiply-shift, so consecutive
+    /// user ids spread across shards).
+    #[must_use]
+    pub fn shard_of(&self, user: u64) -> usize {
+        (user.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % self.shards.len()
+    }
+
+    /// Ingests one batch, locking each touched shard once. Returns the
+    /// number of reports accepted; reports with `slot >= max_slots` are
+    /// dropped (see [`Self::dropped_reports`]).
+    ///
+    /// Single-user batches — the shape every [`crate::ClientFleet`]
+    /// upload has — take a fast path: one shard lock, no partitioning
+    /// allocation.
+    pub fn ingest(&self, batch: &ReportBatch) -> usize {
+        let reports = batch.reports();
+        if reports.is_empty() {
+            return 0;
+        }
+        let mut accepted = 0usize;
+        let mut dropped = 0u64;
+        let first_shard = self.shard_of(reports[0].user);
+        let uniform =
+            self.shards.len() == 1 || reports.iter().all(|r| self.shard_of(r.user) == first_shard);
+        if uniform {
+            let mut shard = self.shards[first_shard]
+                .lock()
+                .expect("collector shard poisoned");
+            for report in reports {
+                if report.slot < self.max_slots {
+                    shard.ingest(report);
+                    accepted += 1;
+                } else {
+                    dropped += 1;
+                }
+            }
+        } else {
+            // Partition indices by shard first so each mutex is taken once.
+            let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+            for (i, report) in reports.iter().enumerate() {
+                if report.slot < self.max_slots {
+                    by_shard[self.shard_of(report.user)].push(i);
+                } else {
+                    dropped += 1;
+                }
+            }
+            for (shard_idx, indices) in by_shard.iter().enumerate() {
+                if indices.is_empty() {
+                    continue;
+                }
+                let mut shard = self.shards[shard_idx]
+                    .lock()
+                    .expect("collector shard poisoned");
+                for &i in indices {
+                    shard.ingest(&reports[i]);
+                }
+                accepted += indices.len();
+            }
+        }
+        if dropped > 0 {
+            self.dropped.fetch_add(dropped, Ordering::Relaxed);
+        }
+        accepted
+    }
+
+    /// Total reports ingested so far, across all shards.
+    #[must_use]
+    pub fn total_reports(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("collector shard poisoned").reports())
+            .sum()
+    }
+
+    /// Reports rejected because their slot index exceeded the configured
+    /// `max_slots` bound.
+    #[must_use]
+    pub fn dropped_reports(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Takes a merged, immutable snapshot of the current crowd state.
+    ///
+    /// Shards are locked one at a time and only scanned — per-user rows
+    /// are extracted directly rather than cloning shard maps — so
+    /// ingestion keeps running with minimal stalls. The snapshot is
+    /// consistent per shard, not globally: the usual
+    /// incremental-aggregation tradeoff.
+    #[must_use]
+    pub fn snapshot(&self) -> CollectorSnapshot {
+        CollectorSnapshot::merge(
+            self.shards
+                .iter()
+                .map(|s| s.lock().expect("collector shard poisoned")),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::ReportBatch;
+
+    fn config(shards: usize) -> CollectorConfig {
+        CollectorConfig {
+            shards,
+            ..CollectorConfig::default()
+        }
+    }
+
+    fn batch_of(users: &[u64]) -> ReportBatch {
+        let mut b = ReportBatch::new();
+        for (i, &u) in users.iter().enumerate() {
+            b.push(u, i as u64 % 4, 0.25 * (i % 4) as f64);
+        }
+        b
+    }
+
+    #[test]
+    fn ingest_counts_every_report() {
+        let c = Collector::new(config(3));
+        let n = c.ingest(&batch_of(&[1, 2, 3, 4, 5, 6, 7, 8]));
+        assert_eq!(n, 8);
+        assert_eq!(c.total_reports(), 8);
+        assert_eq!(c.ingest(&ReportBatch::new()), 0);
+    }
+
+    #[test]
+    fn shard_routing_is_stable_and_in_range() {
+        let c = Collector::new(config(5));
+        for u in 0..1000u64 {
+            let s = c.shard_of(u);
+            assert!(s < 5);
+            assert_eq!(s, c.shard_of(u));
+        }
+    }
+
+    #[test]
+    fn shard_routing_spreads_users() {
+        let c = Collector::new(config(4));
+        let mut counts = [0usize; 4];
+        for u in 0..10_000u64 {
+            counts[c.shard_of(u)] += 1;
+        }
+        for &n in &counts {
+            assert!(n > 1500, "shard underloaded: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn single_and_multi_shard_agree() {
+        let one = Collector::new(config(1));
+        let many = Collector::new(config(7));
+        let batch = batch_of(&[10, 11, 12, 13, 14, 15, 16, 17, 18, 19]);
+        one.ingest(&batch);
+        many.ingest(&batch);
+        let (a, b) = (one.snapshot(), many.snapshot());
+        assert_eq!(a.total_reports(), b.total_reports());
+        assert_eq!(a.per_user_means().len(), b.per_user_means().len());
+        for (x, y) in a.per_user_means().iter().zip(b.per_user_means()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn out_of_bound_slots_are_dropped_not_allocated() {
+        let c = Collector::new(CollectorConfig {
+            shards: 2,
+            max_slots: 100,
+        });
+        let mut b = ReportBatch::new();
+        b.push(1, 5, 0.5);
+        b.push(1, 100, 0.5); // at the bound: rejected
+        b.push(2, u64::MAX, 0.5); // absurd slot: rejected, no allocation
+        assert_eq!(c.ingest(&b), 1);
+        assert_eq!(c.total_reports(), 1);
+        assert_eq!(c.dropped_reports(), 2);
+        let snap = c.snapshot();
+        assert_eq!(snap.slot_count(), 6);
+        assert_eq!(snap.user_count(), 1);
+    }
+
+    #[test]
+    fn mixed_shard_batches_respect_the_slot_bound_too() {
+        let c = Collector::new(CollectorConfig {
+            shards: 4,
+            max_slots: 10,
+        });
+        let mut b = ReportBatch::new();
+        for u in 0..20u64 {
+            b.push(u, u % 15, 0.5); // slots 10..14 rejected
+        }
+        let accepted = c.ingest(&b);
+        assert_eq!(accepted as u64 + c.dropped_reports(), 20);
+        assert!(c.dropped_reports() > 0);
+        assert!(c.snapshot().slot_count() <= 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = Collector::new(config(0));
+    }
+
+    #[test]
+    fn concurrent_ingest_from_many_threads() {
+        let c = Collector::new(config(4));
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let c = &c;
+                scope.spawn(move || {
+                    let mut b = ReportBatch::new();
+                    for i in 0..1000u64 {
+                        b.push(t * 1000 + i, i % 10, 0.5);
+                    }
+                    c.ingest(&b);
+                });
+            }
+        });
+        assert_eq!(c.total_reports(), 8000);
+        let snap = c.snapshot();
+        assert_eq!(snap.per_user_means().len(), 8000);
+        assert!((snap.slot_mean(0).unwrap() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,286 @@
+//! A client-fleet simulator: one [`OnlineSession`] per user, sharded
+//! across worker threads, uploading into a [`Collector`].
+//!
+//! The fleet is the scale harness for the engine (millions of reports) and
+//! doubles as the reference client implementation: every user gets an
+//! independent, deterministically seeded RNG ([`user_seed`]), so fleet
+//! output is identical for any thread count — and reproducible by the
+//! offline batch path via [`ReseedingSession`].
+
+use crate::engine::Collector;
+use crate::report::ReportBatch;
+use ldp_core::online::{OnlineSession, SessionKind};
+use ldp_core::StreamMechanism;
+use ldp_streams::Population;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::cell::Cell;
+use std::ops::Range;
+
+/// Fleet configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// Which session flavor every client runs.
+    pub kind: SessionKind,
+    /// Window budget ε.
+    pub epsilon: f64,
+    /// Window size w.
+    pub w: usize,
+    /// Base seed; user `i` derives its RNG via [`user_seed`]`(seed, i)`.
+    pub seed: u64,
+    /// Worker threads driving the clients.
+    pub threads: usize,
+}
+
+/// Derives user `user`'s RNG seed from the fleet base seed (SplitMix64
+/// finalizer, so consecutive user indices get decorrelated streams).
+#[must_use]
+pub fn user_seed(base: u64, user: u64) -> u64 {
+    let mut z = base ^ user.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Drives N sharded [`OnlineSession`] clients over population data.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientFleet {
+    config: FleetConfig,
+}
+
+impl ClientFleet {
+    /// Creates a fleet with the given configuration.
+    #[must_use]
+    pub fn new(config: FleetConfig) -> Self {
+        Self { config }
+    }
+
+    /// Borrow the configuration.
+    #[must_use]
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Runs every user's session over `range` of their stream and uploads
+    /// the perturbed reports into `collector` (one batch per user, slots
+    /// numbered relative to `range.start`). Returns the total number of
+    /// reports uploaded.
+    ///
+    /// Deterministic in `(population, range, config.seed, config.kind)`:
+    /// the thread count only changes scheduling, not any published value.
+    ///
+    /// # Errors
+    /// Returns an error if `(epsilon, w)` is invalid for the session kind.
+    ///
+    /// # Panics
+    /// Panics if `range` is out of bounds for any user or `threads == 0`.
+    pub fn drive(
+        &self,
+        population: &Population,
+        range: Range<usize>,
+        collector: &Collector,
+    ) -> ldp_core::Result<u64> {
+        // Validate the configuration up front so workers can't fail.
+        let _ = OnlineSession::of_kind(self.config.kind, self.config.epsilon, self.config.w)?;
+        let cfg = self.config;
+        let shards = population.shard_slices(cfg.threads);
+        let total = std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter()
+                .map(|&(start, users)| {
+                    let range = range.clone();
+                    scope.spawn(move || {
+                        let mut uploaded = 0u64;
+                        for (offset, stream) in users.iter().enumerate() {
+                            let user = (start + offset) as u64;
+                            let mut session = OnlineSession::of_kind(cfg.kind, cfg.epsilon, cfg.w)
+                                .expect("config validated above");
+                            let mut rng = StdRng::seed_from_u64(user_seed(cfg.seed, user));
+                            let xs = stream.subsequence(range.clone());
+                            let published = session.report_all(xs, &mut rng);
+                            uploaded += collector
+                                .ingest(&ReportBatch::from_stream(user, 0, &published))
+                                as u64;
+                        }
+                        uploaded
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        Ok(total)
+    }
+}
+
+/// Batch-path adapter reproducing fleet output: a [`StreamMechanism`]
+/// whose i-th `publish` call runs a fresh [`OnlineSession`] seeded with
+/// [`user_seed`]`(base_seed, i)`, ignoring the RNG handed in.
+///
+/// Passing this to [`ldp_core::crowd::estimated_population_means`] yields
+/// exactly the per-user published streams a [`ClientFleet`] uploads with
+/// the same `(kind, epsilon, w, seed)` — which is how the snapshot-vs-batch
+/// agreement tests pin the collector's numerics.
+///
+/// **Every `publish` call consumes the next user id** — including the
+/// internal `publish` inside `estimate_mean` — so one adapter instance
+/// replays one fleet pass. Call [`Self::reset`] before reusing it for a
+/// second pass, or the means will silently come from the wrong seeds.
+#[derive(Debug)]
+pub struct ReseedingSession {
+    kind: SessionKind,
+    epsilon: f64,
+    w: usize,
+    base_seed: u64,
+    next_user: Cell<u64>,
+}
+
+impl ReseedingSession {
+    /// Creates the adapter; the first `publish` call plays user 0.
+    ///
+    /// # Errors
+    /// Returns an error if `(epsilon, w)` is invalid for the session kind.
+    pub fn new(
+        kind: SessionKind,
+        epsilon: f64,
+        w: usize,
+        base_seed: u64,
+    ) -> ldp_core::Result<Self> {
+        let _ = OnlineSession::of_kind(kind, epsilon, w)?;
+        Ok(Self {
+            kind,
+            epsilon,
+            w,
+            base_seed,
+            next_user: Cell::new(0),
+        })
+    }
+
+    /// Rewinds the adapter to user 0 so the same instance can replay the
+    /// fleet again (e.g. to compare two query ranges).
+    pub fn reset(&self) {
+        self.next_user.set(0);
+    }
+
+    /// The user id the next `publish` call will play.
+    #[must_use]
+    pub fn next_user(&self) -> u64 {
+        self.next_user.get()
+    }
+}
+
+impl StreamMechanism for ReseedingSession {
+    fn publish(&self, xs: &[f64], _rng: &mut dyn RngCore) -> Vec<f64> {
+        let user = self.next_user.get();
+        self.next_user.set(user + 1);
+        let mut session = OnlineSession::of_kind(self.kind, self.epsilon, self.w)
+            .expect("config validated at construction");
+        let mut rng = StdRng::seed_from_u64(user_seed(self.base_seed, user));
+        session.report_all(xs, &mut rng)
+    }
+
+    fn name(&self) -> &'static str {
+        "online-session"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::CollectorConfig;
+    use ldp_streams::synthetic::taxi_population;
+
+    fn fleet(kind: SessionKind, threads: usize) -> ClientFleet {
+        ClientFleet::new(FleetConfig {
+            kind,
+            epsilon: 2.0,
+            w: 8,
+            seed: 1234,
+            threads,
+        })
+    }
+
+    #[test]
+    fn drive_uploads_one_report_per_user_slot() {
+        let pop = taxi_population(30, 20, 5);
+        let collector = Collector::new(CollectorConfig {
+            shards: 4,
+            ..CollectorConfig::default()
+        });
+        let n = fleet(SessionKind::App, 4)
+            .drive(&pop, 0..20, &collector)
+            .unwrap();
+        assert_eq!(n, 30 * 20);
+        let snap = collector.snapshot();
+        assert_eq!(snap.user_count(), 30);
+        assert_eq!(snap.slot_count(), 20);
+        assert!(snap.slots().iter().all(|s| s.count == 30));
+    }
+
+    #[test]
+    fn thread_count_does_not_change_published_values() {
+        let pop = taxi_population(17, 15, 9);
+        let a = Collector::new(CollectorConfig {
+            shards: 2,
+            ..CollectorConfig::default()
+        });
+        let b = Collector::new(CollectorConfig {
+            shards: 5,
+            ..CollectorConfig::default()
+        });
+        fleet(SessionKind::Capp, 1).drive(&pop, 2..12, &a).unwrap();
+        fleet(SessionKind::Capp, 6).drive(&pop, 2..12, &b).unwrap();
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        // Per-user sums only involve one user's own reports, so they are
+        // bitwise identical across thread/shard counts.
+        assert_eq!(sa.per_user_means(), sb.per_user_means());
+        assert!(
+            (sa.windowed_mean(0..10).unwrap() - sb.windowed_mean(0..10).unwrap()).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn reseeding_session_replays_fleet_users() {
+        let pop = taxi_population(12, 18, 3);
+        let collector = Collector::default();
+        fleet(SessionKind::Ipp, 3)
+            .drive(&pop, 0..18, &collector)
+            .unwrap();
+        let adapter = ReseedingSession::new(SessionKind::Ipp, 2.0, 8, 1234).unwrap();
+        let mut unused = StdRng::seed_from_u64(0);
+        let batch_means =
+            ldp_core::crowd::estimated_population_means(&pop, 0..18, &adapter, &mut unused);
+        let online_means = collector.snapshot().per_user_means();
+        assert_eq!(batch_means.len(), online_means.len());
+        for (a, b) in batch_means.iter().zip(&online_means) {
+            assert!((a - b).abs() < 1e-12, "batch {a} vs online {b}");
+        }
+    }
+
+    #[test]
+    fn reseeding_session_reset_replays_from_user_zero() {
+        let adapter = ReseedingSession::new(SessionKind::App, 2.0, 8, 77).unwrap();
+        let mut unused = StdRng::seed_from_u64(0);
+        let xs = [0.4; 16];
+        let first = adapter.publish(&xs, &mut unused);
+        let second = adapter.publish(&xs, &mut unused);
+        assert_ne!(first, second, "consecutive calls play different users");
+        assert_eq!(adapter.next_user(), 2);
+        adapter.reset();
+        assert_eq!(adapter.publish(&xs, &mut unused), first);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_before_spawning() {
+        let pop = taxi_population(3, 10, 1);
+        let collector = Collector::default();
+        let bad = ClientFleet::new(FleetConfig {
+            kind: SessionKind::App,
+            epsilon: 0.0,
+            w: 5,
+            seed: 1,
+            threads: 2,
+        });
+        assert!(bad.drive(&pop, 0..10, &collector).is_err());
+        assert_eq!(collector.total_reports(), 0);
+    }
+}

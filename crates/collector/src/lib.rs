@@ -1,0 +1,71 @@
+//! `ldp-collector` — the server side of w-event LDP stream publication.
+//!
+//! The client half of the paper's deployment story lives in
+//! [`ldp_core::online::OnlineSession`]: each user perturbs slot-at-a-time
+//! and uploads reports. This crate is the other half: a sharded,
+//! incremental aggregation engine that ingests perturbed per-slot reports
+//! from any number of concurrent sessions and maintains running crowd
+//! estimates — per-slot means/variances, windowed subsequence means, and
+//! the distribution of per-user means (paper §IV-C, Theorem 5).
+//!
+//! # Architecture
+//!
+//! ```text
+//! OnlineSession ─┐                       ┌─ shard 0: SlotStats[] + user sums
+//! OnlineSession ─┼─ SlotReport batches ─▶│  shard 1: …            ──▶ merge
+//!      …         │     (ReportBatch)     │     …                       │
+//! OnlineSession ─┘                       └─ shard k                    ▼
+//!                                                            CollectorSnapshot
+//! ```
+//!
+//! * [`ReportBatch`] — the ingestion unit: `(user, slot, value)` triples.
+//! * [`Collector`] — routes each report to a shard keyed by user id; each
+//!   shard keeps per-slot count/sum/sum-of-squares plus per-user running
+//!   sums, so ingestion is O(1) per report and shards only contend on
+//!   their own mutex.
+//! * [`CollectorSnapshot`] — a merged, immutable view answering the
+//!   queries the paper's evaluation asks: per-slot mean estimates,
+//!   windowed subsequence means, and the population distribution of
+//!   per-user means. Snapshot numbers agree with the offline batch path
+//!   ([`ldp_core::crowd::estimated_population_means`]) — see
+//!   [`ReseedingSession`] and the `tests/` crate's agreement tests.
+//! * [`ClientFleet`] — a simulator that drives one [`OnlineSession`] per
+//!   user of an [`ldp_streams::Population`] across worker threads, for
+//!   scale tests at millions of reports.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ldp_collector::{ClientFleet, Collector, CollectorConfig, FleetConfig};
+//! use ldp_core::SessionKind;
+//! use ldp_streams::synthetic::taxi_population;
+//!
+//! let population = taxi_population(50, 40, 7);
+//! let collector = Collector::new(CollectorConfig { shards: 4, ..CollectorConfig::default() });
+//! let fleet = ClientFleet::new(FleetConfig {
+//!     kind: SessionKind::Capp,
+//!     epsilon: 2.0,
+//!     w: 10,
+//!     seed: 99,
+//!     threads: 4,
+//! });
+//! let reports = fleet.drive(&population, 0..40, &collector).unwrap();
+//! assert_eq!(reports, 50 * 40);
+//!
+//! let snapshot = collector.snapshot();
+//! let crowd_mean = snapshot.windowed_mean(0..40).unwrap();
+//! assert!(crowd_mean.is_finite());
+//! assert_eq!(snapshot.per_user_means().len(), 50);
+//! ```
+
+pub mod accumulator;
+pub mod engine;
+pub mod fleet;
+pub mod report;
+pub mod snapshot;
+
+pub use accumulator::{ShardAccumulator, SlotStats, UserStats};
+pub use engine::{Collector, CollectorConfig};
+pub use fleet::{user_seed, ClientFleet, FleetConfig, ReseedingSession};
+pub use report::{ReportBatch, SlotReport};
+pub use snapshot::CollectorSnapshot;

@@ -1,0 +1,117 @@
+//! The ingestion unit: batches of perturbed per-slot reports.
+
+/// One perturbed report: user `user` published `value` for time slot
+/// `slot`. The value is already private — the collector never sees ground
+/// truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlotReport {
+    /// Stable user id (assigned by the transport layer).
+    pub user: u64,
+    /// Global time-slot index.
+    pub slot: u64,
+    /// The perturbed value.
+    pub value: f64,
+}
+
+/// A batch of reports uploaded together (one RPC / queue message in a real
+/// deployment). Batching is what keeps per-report overhead negligible:
+/// the collector locks each shard once per batch, not once per report.
+#[derive(Debug, Clone, Default)]
+pub struct ReportBatch {
+    reports: Vec<SlotReport>,
+}
+
+impl ReportBatch {
+    /// An empty batch.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty batch with room for `capacity` reports.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            reports: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Appends one report.
+    pub fn push(&mut self, user: u64, slot: u64, value: f64) {
+        self.reports.push(SlotReport { user, slot, value });
+    }
+
+    /// Wraps a user's contiguous published subsequence starting at
+    /// `start_slot` (the common upload shape for an
+    /// [`ldp_core::online::OnlineSession`]).
+    #[must_use]
+    pub fn from_stream(user: u64, start_slot: u64, values: &[f64]) -> Self {
+        let mut batch = Self::with_capacity(values.len());
+        for (i, &value) in values.iter().enumerate() {
+            batch.push(user, start_slot + i as u64, value);
+        }
+        batch
+    }
+
+    /// Number of reports in the batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// Whether the batch holds no reports.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+
+    /// Borrows the reports.
+    #[must_use]
+    pub fn reports(&self) -> &[SlotReport] {
+        &self.reports
+    }
+}
+
+impl FromIterator<SlotReport> for ReportBatch {
+    fn from_iter<T: IntoIterator<Item = SlotReport>>(iter: T) -> Self {
+        Self {
+            reports: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_stream_numbers_slots_consecutively() {
+        let b = ReportBatch::from_stream(7, 100, &[0.1, 0.2, 0.3]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(
+            b.reports()[0],
+            SlotReport {
+                user: 7,
+                slot: 100,
+                value: 0.1
+            }
+        );
+        assert_eq!(
+            b.reports()[2],
+            SlotReport {
+                user: 7,
+                slot: 102,
+                value: 0.3
+            }
+        );
+    }
+
+    #[test]
+    fn push_and_collect() {
+        let mut b = ReportBatch::new();
+        assert!(b.is_empty());
+        b.push(1, 0, 0.5);
+        let c: ReportBatch = b.reports().iter().copied().collect();
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -1,0 +1,219 @@
+//! Merged, immutable query views over the collector's shard state.
+
+use crate::accumulator::{ShardAccumulator, SlotStats};
+use std::ops::Range;
+
+/// A consistent-per-shard, merged view of the collector at some instant.
+///
+/// Answers the crowd-level queries of the paper's evaluation:
+/// per-slot mean estimates (stream publication), windowed subsequence
+/// means (mean estimation), and the distribution of per-user means
+/// (crowd-level statistics, Theorem 5).
+#[derive(Debug, Clone)]
+pub struct CollectorSnapshot {
+    slots: Vec<SlotStats>,
+    /// `(user id, report count, value sum)` ordered by user id.
+    users: Vec<(u64, u64, f64)>,
+    total_reports: u64,
+}
+
+impl CollectorSnapshot {
+    /// Merges shard states into one view. Shards own disjoint users, so
+    /// user lists concatenate; slot stats fold index-wise.
+    ///
+    /// Accepts anything dereferencing to [`ShardAccumulator`] — plain
+    /// references or mutex guards — and visits each item exactly once, so
+    /// the engine can feed it lock guards one shard at a time.
+    #[must_use]
+    pub fn merge<I>(shards: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: std::ops::Deref<Target = ShardAccumulator>,
+    {
+        let mut slots: Vec<SlotStats> = Vec::new();
+        let mut users: Vec<(u64, u64, f64)> = Vec::new();
+        let mut total_reports = 0;
+        for shard in shards {
+            if shard.slot_count() > slots.len() {
+                slots.resize(shard.slot_count(), SlotStats::default());
+            }
+            for (i, s) in shard.slots().iter().enumerate() {
+                slots[i].merge(s);
+            }
+            for (&id, stats) in shard.users() {
+                users.push((id, stats.count, stats.sum));
+            }
+            total_reports += shard.reports();
+        }
+        users.sort_unstable_by_key(|&(id, _, _)| id);
+        Self::from_parts(slots, users, total_reports)
+    }
+
+    /// Builds a snapshot from already-merged parts: dense per-slot stats
+    /// and `(user id, report count, value sum)` rows sorted by user id
+    /// (the engine's lock-friendly snapshot path).
+    #[must_use]
+    pub fn from_parts(
+        slots: Vec<SlotStats>,
+        users: Vec<(u64, u64, f64)>,
+        total_reports: u64,
+    ) -> Self {
+        debug_assert!(
+            users.windows(2).all(|w| w[0].0 < w[1].0),
+            "user rows must be sorted and unique"
+        );
+        Self {
+            slots,
+            users,
+            total_reports,
+        }
+    }
+
+    /// Total reports aggregated into this snapshot.
+    #[must_use]
+    pub fn total_reports(&self) -> u64 {
+        self.total_reports
+    }
+
+    /// Number of distinct users seen.
+    #[must_use]
+    pub fn user_count(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Dense slot range covered (highest reported slot + 1).
+    #[must_use]
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Per-slot stats (dense, indexed by slot).
+    #[must_use]
+    pub fn slots(&self) -> &[SlotStats] {
+        &self.slots
+    }
+
+    /// Crowd mean estimate for one slot (`None` if nobody reported it).
+    #[must_use]
+    pub fn slot_mean(&self, slot: usize) -> Option<f64> {
+        self.slots.get(slot).and_then(SlotStats::mean)
+    }
+
+    /// Crowd variance estimate for one slot.
+    #[must_use]
+    pub fn slot_variance(&self, slot: usize) -> Option<f64> {
+        self.slots.get(slot).and_then(SlotStats::variance)
+    }
+
+    /// Windowed subsequence mean: the average over `range` of the per-slot
+    /// crowd means — the collector-side estimate of the population's
+    /// average subsequence mean `M̂(i,j)`. When every user reports every
+    /// slot of the range this equals the average of the per-user means the
+    /// offline batch path computes, up to floating-point summation order.
+    ///
+    /// Returns `None` if any slot in the range has no reports.
+    #[must_use]
+    pub fn windowed_mean(&self, range: Range<usize>) -> Option<f64> {
+        if range.is_empty() {
+            return None;
+        }
+        let len = range.len();
+        let mut sum = 0.0;
+        for slot in range {
+            sum += self.slot_mean(slot)?;
+        }
+        Some(sum / len as f64)
+    }
+
+    /// User ids seen, ascending.
+    #[must_use]
+    pub fn user_ids(&self) -> Vec<u64> {
+        self.users.iter().map(|&(id, _, _)| id).collect()
+    }
+
+    /// Each user's running mean estimate, ordered by user id — the
+    /// population-mean distribution of the paper's crowd-level statistics
+    /// (the online analogue of
+    /// [`ldp_core::crowd::estimated_population_means`]).
+    #[must_use]
+    pub fn per_user_means(&self) -> Vec<f64> {
+        self.users
+            .iter()
+            .map(|&(_, count, sum)| sum / count as f64)
+            .collect()
+    }
+
+    /// The average of the per-user means: the headline population-mean
+    /// estimate (0 when no users reported).
+    #[must_use]
+    pub fn population_mean(&self) -> f64 {
+        if self.users.is_empty() {
+            return 0.0;
+        }
+        let means = self.per_user_means();
+        means.iter().sum::<f64>() / means.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::SlotReport;
+
+    fn shard_with(reports: &[(u64, u64, f64)]) -> ShardAccumulator {
+        let mut s = ShardAccumulator::new();
+        for &(user, slot, value) in reports {
+            s.ingest(&SlotReport { user, slot, value });
+        }
+        s
+    }
+
+    #[test]
+    fn merge_combines_slots_and_users() {
+        let a = shard_with(&[(0, 0, 0.2), (0, 1, 0.4)]);
+        let b = shard_with(&[(1, 0, 0.6), (1, 1, 0.8)]);
+        let snap = CollectorSnapshot::merge(&[a, b]);
+        assert_eq!(snap.total_reports(), 4);
+        assert_eq!(snap.user_count(), 2);
+        assert_eq!(snap.slot_count(), 2);
+        assert!((snap.slot_mean(0).unwrap() - 0.4).abs() < 1e-12);
+        assert!((snap.slot_mean(1).unwrap() - 0.6).abs() < 1e-12);
+        assert_eq!(snap.user_ids(), vec![0, 1]);
+        let means = snap.per_user_means();
+        assert!((means[0] - 0.3).abs() < 1e-12);
+        assert!((means[1] - 0.7).abs() < 1e-12);
+        assert!((snap.population_mean() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn windowed_mean_averages_slot_means() {
+        let snap = CollectorSnapshot::merge(&[shard_with(&[
+            (0, 0, 0.0),
+            (0, 1, 1.0),
+            (1, 0, 1.0),
+            (1, 1, 0.0),
+        ])]);
+        assert!((snap.windowed_mean(0..2).unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(snap.windowed_mean(0..0), None);
+        assert_eq!(snap.windowed_mean(0..5), None, "uncovered slots");
+    }
+
+    #[test]
+    fn empty_snapshot_is_well_defined() {
+        let snap = CollectorSnapshot::merge(&[]);
+        assert_eq!(snap.total_reports(), 0);
+        assert_eq!(snap.slot_mean(0), None);
+        assert_eq!(snap.population_mean(), 0.0);
+        assert!(snap.per_user_means().is_empty());
+    }
+
+    #[test]
+    fn ragged_slot_coverage_merges_to_max() {
+        let a = shard_with(&[(0, 9, 0.5)]);
+        let b = shard_with(&[(1, 2, 0.25)]);
+        let snap = CollectorSnapshot::merge(&[a, b]);
+        assert_eq!(snap.slot_count(), 10);
+        assert_eq!(snap.slot_mean(5), None);
+        assert!((snap.slot_variance(9).unwrap()).abs() < 1e-12);
+    }
+}

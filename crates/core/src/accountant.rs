@@ -23,7 +23,10 @@ impl WEventAccountant {
     #[must_use]
     pub fn new(w: usize, budget: f64) -> Self {
         assert!(w > 0, "window size must be positive");
-        assert!(budget.is_finite() && budget > 0.0, "budget must be positive");
+        assert!(
+            budget.is_finite() && budget > 0.0,
+            "budget must be positive"
+        );
         Self {
             w,
             budget,

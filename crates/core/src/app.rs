@@ -117,7 +117,9 @@ mod tests {
         // so |Σ x'_i − Σ x_i| = |D_final| is bounded by the last deviation
         // magnitude (≤ max deviation of one SW draw), NOT growing with n.
         let app = App::new(2.0, 10).unwrap();
-        let xs: Vec<f64> = (0..400).map(|i| 0.5 + 0.3 * (i as f64 / 9.0).sin()).collect();
+        let xs: Vec<f64> = (0..400)
+            .map(|i| 0.5 + 0.3 * (i as f64 / 9.0).sin())
+            .collect();
         let out = app.publish_raw(&xs, &mut rng(1));
         let sum_x: f64 = xs.iter().sum();
         let sum_y: f64 = out.iter().sum();
@@ -145,7 +147,10 @@ mod tests {
     fn with_smoothing_zero_disables_post_processing() {
         let app = App::new(1.0, 5).unwrap().with_smoothing(0);
         let xs = vec![0.5; 30];
-        assert_eq!(app.publish(&xs, &mut rng(3)), app.publish_raw(&xs, &mut rng(3)));
+        assert_eq!(
+            app.publish(&xs, &mut rng(3)),
+            app.publish_raw(&xs, &mut rng(3))
+        );
     }
 
     #[test]
@@ -153,7 +158,9 @@ mod tests {
         // Lemma IV.2: correcting all deviations beats correcting only the
         // last one for subsequence mean estimation.
         let (eps, w) = (1.0, 30);
-        let xs: Vec<f64> = (0..w).map(|i| 0.2 + 0.6 * ((i * 13 % 29) as f64 / 29.0)).collect();
+        let xs: Vec<f64> = (0..w)
+            .map(|i| 0.2 + 0.6 * ((i * 13 % 29) as f64 / 29.0))
+            .collect();
         let truth = xs.iter().sum::<f64>() / xs.len() as f64;
         let app = App::new(eps, w).unwrap().with_smoothing(0);
         let ipp = crate::Ipp::new(eps, w).unwrap();

@@ -258,14 +258,19 @@ mod tests {
         let (lo, hi) = (b.l() - sw_b * width, b.u() + sw_b * width);
         let xs: Vec<f64> = (0..300).map(|i| (i % 11) as f64 / 10.0).collect();
         for y in capp.publish_raw(&xs, &mut rng(1)) {
-            assert!(y >= lo - 1e-9 && y <= hi + 1e-9, "y={y} outside [{lo}, {hi}]");
+            assert!(
+                y >= lo - 1e-9 && y <= hi + 1e-9,
+                "y={y} outside [{lo}, {hi}]"
+            );
         }
     }
 
     #[test]
     fn accumulated_sum_tracks_truth() {
         let capp = Capp::new(2.0, 10).unwrap();
-        let xs: Vec<f64> = (0..300).map(|i| 0.5 + 0.4 * (i as f64 / 7.0).cos()).collect();
+        let xs: Vec<f64> = (0..300)
+            .map(|i| 0.5 + 0.4 * (i as f64 / 7.0).cos())
+            .collect();
         let out = capp.publish_raw(&xs, &mut rng(2));
         let drift = (xs.iter().sum::<f64>() - out.iter().sum::<f64>()).abs();
         assert!(drift < 15.0, "drift {drift}");
@@ -288,7 +293,9 @@ mod tests {
         // assert CAPP stays within a modest factor (the dataset-level
         // ordering is exercised by the Fig 4 reproduction).
         let (eps, w) = (0.5, 30);
-        let xs: Vec<f64> = (0..w).map(|i| 0.3 + 0.5 * ((i * 7 % 13) as f64 / 13.0)).collect();
+        let xs: Vec<f64> = (0..w)
+            .map(|i| 0.3 + 0.5 * ((i * 7 % 13) as f64 / 13.0))
+            .collect();
         let truth = xs.iter().sum::<f64>() / xs.len() as f64;
         let capp = Capp::new(eps, w).unwrap().with_smoothing(0);
         let app = crate::App::new(eps, w).unwrap().with_smoothing(0);

@@ -38,6 +38,17 @@ pub fn true_population_means(population: &Population, range: Range<usize>) -> Ve
     population.subsequence_means(range)
 }
 
+/// Ground-truth population mean over a window: the average of the per-user
+/// subsequence means (what a collector's windowed crowd estimate targets).
+#[must_use]
+pub fn true_windowed_population_mean(population: &Population, range: Range<usize>) -> f64 {
+    let means = population.subsequence_means(range);
+    if means.is_empty() {
+        return 0.0;
+    }
+    means.iter().sum::<f64>() / means.len() as f64
+}
+
 /// The sample-size bound of Theorem 5: with per-user error ≤ β, target
 /// uniform CDF error η > β and confidence 1 − δ, it suffices that
 /// `N ≥ ln(2/δ) / (2(η − β)²)`.

@@ -134,8 +134,15 @@ mod tests {
     #[test]
     fn budget_split_publishes_all_dims_full_length() {
         let m = sin_multidim(4, 60, 1);
-        let out = publish_multidim(&m, PpKind::App, SplitStrategy::BudgetSplit, 2.0, 10, &mut rng(1))
-            .unwrap();
+        let out = publish_multidim(
+            &m,
+            PpKind::App,
+            SplitStrategy::BudgetSplit,
+            2.0,
+            10,
+            &mut rng(1),
+        )
+        .unwrap();
         assert_eq!(out.len(), 4);
         assert!(out.iter().all(|s| s.len() == 60));
     }
@@ -143,8 +150,15 @@ mod tests {
     #[test]
     fn sample_split_publishes_all_dims_full_length() {
         let m = sin_multidim(3, 61, 2);
-        let out = publish_multidim(&m, PpKind::Capp, SplitStrategy::SampleSplit, 2.0, 9, &mut rng(2))
-            .unwrap();
+        let out = publish_multidim(
+            &m,
+            PpKind::Capp,
+            SplitStrategy::SampleSplit,
+            2.0,
+            9,
+            &mut rng(2),
+        )
+        .unwrap();
         assert_eq!(out.len(), 3);
         assert!(out.iter().all(|s| s.len() == 61));
     }
@@ -152,8 +166,15 @@ mod tests {
     #[test]
     fn sample_split_streams_hold_values_in_run_interiors() {
         let m = sin_multidim(5, 50, 3);
-        let out = publish_multidim(&m, PpKind::Direct, SplitStrategy::SampleSplit, 1.0, 10, &mut rng(3))
-            .unwrap();
+        let out = publish_multidim(
+            &m,
+            PpKind::Direct,
+            SplitStrategy::SampleSplit,
+            1.0,
+            10,
+            &mut rng(3),
+        )
+        .unwrap();
         // Dimension 0 reports at t = 0, 5, 10, …; its runs are 5 slots
         // long. After the SMA-3 pass only the run-boundary slots mix with
         // neighbouring runs, so interior slots (t ≡ 2, 3 mod 5) must equal
@@ -193,12 +214,10 @@ mod tests {
         let trials = 40;
         let (mut err_bs, mut err_ss) = (0.0, 0.0);
         for _ in 0..trials {
-            let bs =
-                publish_multidim(&m, PpKind::App, SplitStrategy::BudgetSplit, 1.0, 10, &mut r)
-                    .unwrap();
-            let ss =
-                publish_multidim(&m, PpKind::App, SplitStrategy::SampleSplit, 1.0, 10, &mut r)
-                    .unwrap();
+            let bs = publish_multidim(&m, PpKind::App, SplitStrategy::BudgetSplit, 1.0, 10, &mut r)
+                .unwrap();
+            let ss = publish_multidim(&m, PpKind::App, SplitStrategy::SampleSplit, 1.0, 10, &mut r)
+                .unwrap();
             for k in 0..d {
                 let truth = m.dim(k).values();
                 err_bs += ldp_metrics::mse(&bs[k], truth);

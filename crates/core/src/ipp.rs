@@ -120,7 +120,9 @@ mod tests {
         // Lemma III.1: IPP's mean deviation is below direct SW's.
         let eps = 1.0;
         let w = 20;
-        let xs: Vec<f64> = (0..w).map(|i| 0.3 + 0.4 * (i as f64 / 5.0).sin().abs()).collect();
+        let xs: Vec<f64> = (0..w)
+            .map(|i| 0.3 + 0.4 * (i as f64 / 5.0).sin().abs())
+            .collect();
         let truth = xs.iter().sum::<f64>() / xs.len() as f64;
         let ipp = Ipp::new(eps, w).unwrap();
         let sw = SquareWave::new(eps / w as f64).unwrap();

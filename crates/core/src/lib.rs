@@ -60,6 +60,7 @@ pub use app::App;
 pub use capp::{Capp, ClipBounds};
 pub use generic::{DirectMechanismStream, GenericApp};
 pub use ipp::Ipp;
+pub use online::{OnlineSession, SessionKind};
 pub use publisher::StreamMechanism;
 pub use sampling::{optimal_sample_count, PpKind, Sampling};
 pub use smoothing::sma;

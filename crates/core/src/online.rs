@@ -40,6 +40,33 @@ enum Feedback {
     Clipped,
 }
 
+/// The publicly selectable session flavors (used by the collector fleet
+/// and anything else that needs to construct sessions dynamically).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionKind {
+    /// No feedback (SW-direct baseline).
+    SwDirect,
+    /// Last-deviation feedback.
+    Ipp,
+    /// Accumulated-deviation feedback.
+    App,
+    /// Accumulated feedback with the recommended clip range.
+    Capp,
+}
+
+impl SessionKind {
+    /// Short label for reports and benchmarks.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SessionKind::SwDirect => "sw-direct",
+            SessionKind::Ipp => "ipp",
+            SessionKind::App => "app",
+            SessionKind::Capp => "capp",
+        }
+    }
+}
+
 /// A stateful, slot-at-a-time publication session.
 #[derive(Debug, Clone)]
 pub struct OnlineSession {
@@ -97,6 +124,31 @@ impl OnlineSession {
         Self::new(epsilon, w, Feedback::Clipped)
     }
 
+    /// Builds a session of the given [`SessionKind`].
+    ///
+    /// # Errors
+    /// Returns an error for invalid `(epsilon, w)`.
+    pub fn of_kind(kind: SessionKind, epsilon: f64, w: usize) -> Result<Self> {
+        match kind {
+            SessionKind::SwDirect => Self::sw_direct(epsilon, w),
+            SessionKind::Ipp => Self::ipp(epsilon, w),
+            SessionKind::App => Self::app(epsilon, w),
+            SessionKind::Capp => Self::capp(epsilon, w),
+        }
+    }
+
+    /// Window size `w` of the w-event guarantee.
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.accountant.window()
+    }
+
+    /// Total budget ε allowed inside any window of `w` slots.
+    #[must_use]
+    pub fn window_budget(&self) -> f64 {
+        self.accountant.budget()
+    }
+
     /// Per-slot privacy budget.
     #[must_use]
     pub fn slot_epsilon(&self) -> f64 {
@@ -136,8 +188,7 @@ impl OnlineSession {
                 y
             }
             Feedback::Clipped => {
-                let dom = Domain::new(self.bounds.l(), self.bounds.u())
-                    .expect("bounds validated");
+                let dom = Domain::new(self.bounds.l(), self.bounds.u()).expect("bounds validated");
                 let clipped = dom.clip(x + self.deviation);
                 let y = dom.denormalize(self.sw.perturb(dom.normalize(clipped), rng));
                 self.deviation += x - y;
@@ -205,7 +256,9 @@ mod tests {
     #[test]
     fn online_capp_matches_batch_capp_raw() {
         let batch = crate::Capp::new(1.0, 10).unwrap();
-        let xs: Vec<f64> = (0..50).map(|i| 0.5 + 0.3 * (i as f64 / 7.0).sin()).collect();
+        let xs: Vec<f64> = (0..50)
+            .map(|i| 0.5 + 0.3 * (i as f64 / 7.0).sin())
+            .collect();
         let expected = batch.publish_raw(&xs, &mut rng(4));
         let mut session = OnlineSession::capp(1.0, 10).unwrap();
         assert_eq!(expected, session.report_all(&xs, &mut rng(4)));

@@ -229,7 +229,7 @@ impl StreamMechanism for Sampling {
 
         let mut out = Vec::with_capacity(q);
         for (r, win) in bounds.windows(2).enumerate() {
-            out.extend(std::iter::repeat(perturbed[r]).take(win[1] - win[0]));
+            out.extend(std::iter::repeat_n(perturbed[r], win[1] - win[0]));
         }
         out
     }

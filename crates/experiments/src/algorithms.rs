@@ -89,7 +89,10 @@ impl AlgorithmSpec {
     /// mechanism family) rather than `[0, 1]`.
     #[must_use]
     pub fn uses_symmetric_domain(self) -> bool {
-        matches!(self, AlgorithmSpec::MechDirect(_) | AlgorithmSpec::MechApp(_))
+        matches!(
+            self,
+            AlgorithmSpec::MechDirect(_) | AlgorithmSpec::MechApp(_)
+        )
     }
 
     /// Builds the algorithm for window budget `epsilon` and window size `w`.
@@ -113,9 +116,7 @@ impl AlgorithmSpec {
             ),
             AlgorithmSpec::ToPL => Box::new(ToPL::new(epsilon, w).unwrap()),
             AlgorithmSpec::NaiveSampling => Box::new(NaiveSampling::new(epsilon, w).unwrap()),
-            AlgorithmSpec::AppSampling => {
-                Box::new(Sampling::new(PpKind::App, epsilon, w).unwrap())
-            }
+            AlgorithmSpec::AppSampling => Box::new(Sampling::new(PpKind::App, epsilon, w).unwrap()),
             AlgorithmSpec::CappSampling => {
                 Box::new(Sampling::new(PpKind::Capp, epsilon, w).unwrap())
             }

@@ -1,0 +1,490 @@
+//! One module per paper artifact (Table I, Figures 4–11) plus the
+//! collector scalability scenario, each regenerating the corresponding
+//! rows/series through the shared runner.
+//!
+//! Every artifact is a pure function of an [`ExperimentConfig`] and
+//! returns a rendered markdown report; [`run`] dispatches by name and
+//! [`names`] lists everything in paper order.
+
+use crate::algorithms::AlgorithmSpec;
+use crate::config::{epsilon_grid, ExperimentConfig};
+use crate::datasets::{Dataset, DatasetData};
+use crate::report::{render_artifact, Series, SeriesTable};
+use crate::runner::{self, Metric, TrialSpec};
+use ldp_collector::{ClientFleet, Collector, CollectorConfig, FleetConfig, ReseedingSession};
+use ldp_core::highdim::{publish_multidim, SplitStrategy};
+use ldp_core::{crowd, PpKind, SessionKind};
+use ldp_metrics::Summary;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Window size shared by the headline experiments.
+const W: usize = 10;
+/// Query (subsequence) length shared by the headline experiments.
+const Q: usize = 30;
+
+/// Artifact names in paper order.
+#[must_use]
+pub fn names() -> &'static [&'static str] {
+    &[
+        "table1",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "collector_scale",
+    ]
+}
+
+/// Runs one artifact by name; `None` for unknown names.
+#[must_use]
+pub fn run(name: &str, cfg: &ExperimentConfig) -> Option<String> {
+    match name {
+        "table1" => Some(table1(cfg)),
+        "fig4" => Some(fig4(cfg)),
+        "fig5" => Some(fig5(cfg)),
+        "fig6" => Some(fig6(cfg)),
+        "fig7" => Some(fig7(cfg)),
+        "fig8" => Some(fig8(cfg)),
+        "fig9" => Some(fig9(cfg)),
+        "fig10" => Some(fig10(cfg)),
+        "fig11" => Some(fig11(cfg)),
+        "collector_scale" => Some(collector_scale(cfg)),
+        _ => None,
+    }
+}
+
+fn trial(cfg: &ExperimentConfig, epsilon: f64, w: usize, q: usize, parts: &[u64]) -> TrialSpec {
+    TrialSpec {
+        epsilon,
+        w,
+        q,
+        trials: cfg.trials,
+        seed: cfg.sub_seed(parts),
+    }
+}
+
+/// Cell metric matched to the dataset shape: crowd-averaged MSE for
+/// populations (the paper's Table I protocol), per-subsequence MSE for
+/// single streams.
+fn mean_mse_cell(data: &DatasetData, spec: AlgorithmSpec, t: &TrialSpec) -> f64 {
+    match data {
+        DatasetData::Multi(_) => runner::population_mean_mse(data, spec, t),
+        DatasetData::Single(_) => {
+            runner::subsequence_metric(data, spec, t, Metric::MeanSquaredError)
+        }
+    }
+}
+
+/// Table I — subsequence mean-estimation MSE, datasets × algorithms.
+#[must_use]
+pub fn table1(cfg: &ExperimentConfig) -> String {
+    let datasets = [
+        Dataset::Volume,
+        Dataset::C6h6,
+        Dataset::Taxi,
+        Dataset::Power,
+    ];
+    let arms = [
+        AlgorithmSpec::SwDirect,
+        AlgorithmSpec::BaSw,
+        AlgorithmSpec::ToPL,
+        AlgorithmSpec::NaiveSampling,
+        AlgorithmSpec::Ipp,
+        AlgorithmSpec::App,
+        AlgorithmSpec::Capp { margin: None },
+        AlgorithmSpec::AppSampling,
+        AlgorithmSpec::CappSampling,
+    ];
+    let mut out = String::from("## Table I — mean estimation MSE (ε = 1, w = 10, q = 30)\n\n");
+    out.push_str("| algorithm |");
+    for d in datasets {
+        out.push_str(&format!(" {} |", d.label()));
+    }
+    out.push_str("\n|---|");
+    for _ in datasets {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for (ai, arm) in arms.iter().enumerate() {
+        out.push_str(&format!("| {} |", arm.label()));
+        for (di, d) in datasets.iter().enumerate() {
+            let data = d.materialize(cfg.crowd_users, cfg.sub_seed(&[1, di as u64]));
+            let t = trial(cfg, 1.0, W, Q, &[1, ai as u64, di as u64]);
+            out.push_str(&format!(" {:.4e} |", mean_mse_cell(&data, *arm, &t)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Shared shape of Figures 4–6: one panel per dataset, metric vs ε.
+fn eps_sweep(
+    cfg: &ExperimentConfig,
+    artifact: u64,
+    caption: &str,
+    datasets: &[Dataset],
+    arms: &[AlgorithmSpec],
+    metric: Metric,
+) -> String {
+    let y_label = match metric {
+        Metric::MeanSquaredError => "MSE",
+        Metric::CosineDistance => "cosine distance",
+    };
+    let mut panels = Vec::new();
+    for (di, d) in datasets.iter().enumerate() {
+        let data = d.materialize(cfg.crowd_users, cfg.sub_seed(&[artifact, di as u64]));
+        let mut panel = SeriesTable::new(&format!("{}, w = {W}", d.label()), "ε", y_label);
+        for (ai, arm) in arms.iter().enumerate() {
+            let points = epsilon_grid()
+                .into_iter()
+                .map(|eps| {
+                    let t = trial(cfg, eps, W, Q, &[artifact, di as u64, ai as u64]);
+                    (eps, runner::subsequence_metric(&data, *arm, &t, metric))
+                })
+                .collect();
+            panel.push(Series {
+                label: arm.label(),
+                points,
+            });
+        }
+        panels.push(panel);
+    }
+    render_artifact(caption, &panels)
+}
+
+const MAIN_ARMS: [AlgorithmSpec; 6] = [
+    AlgorithmSpec::SwDirect,
+    AlgorithmSpec::BaSw,
+    AlgorithmSpec::ToPL,
+    AlgorithmSpec::Ipp,
+    AlgorithmSpec::App,
+    AlgorithmSpec::Capp { margin: None },
+];
+
+const SAMPLING_ARMS: [AlgorithmSpec; 5] = [
+    AlgorithmSpec::NaiveSampling,
+    AlgorithmSpec::AppSampling,
+    AlgorithmSpec::CappSampling,
+    AlgorithmSpec::App,
+    AlgorithmSpec::Capp { margin: None },
+];
+
+const ALL_DATASETS: [Dataset; 4] = [
+    Dataset::Volume,
+    Dataset::C6h6,
+    Dataset::Taxi,
+    Dataset::Power,
+];
+
+/// Figure 4 — mean estimation MSE vs ε.
+#[must_use]
+pub fn fig4(cfg: &ExperimentConfig) -> String {
+    eps_sweep(
+        cfg,
+        4,
+        "Figure 4 — subsequence mean MSE vs ε",
+        &ALL_DATASETS,
+        &MAIN_ARMS,
+        Metric::MeanSquaredError,
+    )
+}
+
+/// Figure 5 — stream publication cosine distance vs ε.
+#[must_use]
+pub fn fig5(cfg: &ExperimentConfig) -> String {
+    eps_sweep(
+        cfg,
+        5,
+        "Figure 5 — stream cosine distance vs ε",
+        &ALL_DATASETS,
+        &MAIN_ARMS,
+        Metric::CosineDistance,
+    )
+}
+
+/// Figure 6 — sampling family MSE vs ε.
+#[must_use]
+pub fn fig6(cfg: &ExperimentConfig) -> String {
+    eps_sweep(
+        cfg,
+        6,
+        "Figure 6 — sampling algorithms, subsequence mean MSE vs ε",
+        &ALL_DATASETS,
+        &SAMPLING_ARMS,
+        Metric::MeanSquaredError,
+    )
+}
+
+/// Figure 7 — MSE vs query length q at ε = 1.
+#[must_use]
+pub fn fig7(cfg: &ExperimentConfig) -> String {
+    let arms = [
+        AlgorithmSpec::SwDirect,
+        AlgorithmSpec::App,
+        AlgorithmSpec::Capp { margin: None },
+        AlgorithmSpec::AppSampling,
+        AlgorithmSpec::CappSampling,
+    ];
+    let q_grid = [10usize, 20, 40, 80, 160];
+    let mut panels = Vec::new();
+    for (di, d) in [Dataset::Volume, Dataset::C6h6].iter().enumerate() {
+        let data = d.materialize(cfg.crowd_users, cfg.sub_seed(&[7, di as u64]));
+        let mut panel = SeriesTable::new(&format!("{}, ε = 1, w = {W}", d.label()), "q", "MSE");
+        for (ai, arm) in arms.iter().enumerate() {
+            let points = q_grid
+                .iter()
+                .map(|&q| {
+                    let t = trial(cfg, 1.0, W, q, &[7, di as u64, ai as u64, q as u64]);
+                    (
+                        q as f64,
+                        runner::subsequence_metric(&data, *arm, &t, Metric::MeanSquaredError),
+                    )
+                })
+                .collect();
+            panel.push(Series {
+                label: arm.label(),
+                points,
+            });
+        }
+        panels.push(panel);
+    }
+    render_artifact("Figure 7 — subsequence mean MSE vs query length", &panels)
+}
+
+/// Figure 8 — crowd-level Wasserstein distance vs ε (multi-user data).
+#[must_use]
+pub fn fig8(cfg: &ExperimentConfig) -> String {
+    let arms = [
+        AlgorithmSpec::SwDirect,
+        AlgorithmSpec::NaiveSampling,
+        AlgorithmSpec::App,
+        AlgorithmSpec::Capp { margin: None },
+    ];
+    let mut panels = Vec::new();
+    for (di, d) in [Dataset::Taxi, Dataset::Power].iter().enumerate() {
+        let data = d.materialize(cfg.crowd_users, cfg.sub_seed(&[8, di as u64]));
+        let mut panel = SeriesTable::new(
+            &format!("{}, {} users", d.label(), cfg.crowd_users),
+            "ε",
+            "Wasserstein distance",
+        );
+        for (ai, arm) in arms.iter().enumerate() {
+            let points = epsilon_grid()
+                .into_iter()
+                .map(|eps| {
+                    let t = trial(cfg, eps, W, Q, &[8, di as u64, ai as u64]);
+                    (eps, runner::crowd_wasserstein(&data, *arm, &t))
+                })
+                .collect();
+            panel.push(Series {
+                label: arm.label(),
+                points,
+            });
+        }
+        panels.push(panel);
+    }
+    render_artifact("Figure 8 — crowd-level statistics vs ε", &panels)
+}
+
+/// Figure 9 — generalizability across perturbation mechanisms.
+#[must_use]
+pub fn fig9(cfg: &ExperimentConfig) -> String {
+    let data = Dataset::C6h6.materialize(1, cfg.sub_seed(&[9]));
+    let mut panel = SeriesTable::new("C6H6, direct vs APP per mechanism", "ε", "MSE");
+    for (ai, (label, arm)) in AlgorithmSpec::fig9_arms().into_iter().enumerate() {
+        let points = epsilon_grid()
+            .into_iter()
+            .map(|eps| {
+                let t = trial(cfg, eps, W, Q, &[9, ai as u64]);
+                (
+                    eps,
+                    runner::subsequence_metric(&data, arm, &t, Metric::MeanSquaredError),
+                )
+            })
+            .collect();
+        panel.push(Series { label, points });
+    }
+    render_artifact("Figure 9 — mechanism generalizability", &[panel])
+}
+
+/// Figure 10 — Budget-Split vs Sample-Split on d-dimensional series.
+#[must_use]
+pub fn fig10(cfg: &ExperimentConfig) -> String {
+    let d_grid = [2usize, 4, 8, 12];
+    let mut panel = SeriesTable::new("sinusoidal d-dim series, ε = 2", "d", "pointwise MSE");
+    for strategy in [SplitStrategy::BudgetSplit, SplitStrategy::SampleSplit] {
+        let mut points = Vec::new();
+        for &d in &d_grid {
+            let series =
+                ldp_streams::synthetic::sin_multidim(d, 240, cfg.sub_seed(&[10, d as u64]));
+            let mut rng = StdRng::seed_from_u64(cfg.sub_seed(&[10, d as u64, 1]));
+            let mut summary = Summary::new();
+            for _ in 0..cfg.trials.max(1) {
+                let published = publish_multidim(&series, PpKind::App, strategy, 2.0, W, &mut rng)
+                    .expect("static config");
+                for (k, stream) in series.iter().enumerate() {
+                    summary.add(ldp_metrics::mse(&published[k], stream.values()));
+                }
+            }
+            points.push((d as f64, summary.mean()));
+        }
+        panel.push(Series {
+            label: strategy.label().to_owned(),
+            points,
+        });
+    }
+    render_artifact("Figure 10 — high-dimensional budget strategies", &[panel])
+}
+
+/// Figure 11 — CAPP clip-margin sensitivity on analytic series.
+#[must_use]
+pub fn fig11(cfg: &ExperimentConfig) -> String {
+    let margins = [0.0, 0.05, 0.1, 0.2, 0.4];
+    let mut panels = Vec::new();
+    for (di, d) in [Dataset::Constant, Dataset::Pulse, Dataset::Sinusoidal]
+        .iter()
+        .enumerate()
+    {
+        let data = d.materialize(1, cfg.sub_seed(&[11, di as u64]));
+        let mut panel = SeriesTable::new(&format!("{}, ε = 1", d.label()), "δ", "MSE");
+        let forced = margins
+            .iter()
+            .map(|&m| {
+                let t = trial(cfg, 1.0, W, Q, &[11, di as u64, (m * 100.0) as u64]);
+                (
+                    m,
+                    runner::subsequence_metric(
+                        &data,
+                        AlgorithmSpec::Capp { margin: Some(m) },
+                        &t,
+                        Metric::MeanSquaredError,
+                    ),
+                )
+            })
+            .collect();
+        panel.push(Series {
+            label: "CAPP(forced δ)".into(),
+            points: forced,
+        });
+        let t = trial(cfg, 1.0, W, Q, &[11, di as u64, 999]);
+        let auto = runner::subsequence_metric(
+            &data,
+            AlgorithmSpec::Capp { margin: None },
+            &t,
+            Metric::MeanSquaredError,
+        );
+        panel.push(Series {
+            label: "CAPP(T(e_s,e_d))".into(),
+            points: margins.iter().map(|&m| (m, auto)).collect(),
+        });
+        panels.push(panel);
+    }
+    render_artifact("Figure 11 — clip margin sensitivity", &panels)
+}
+
+/// Collector scalability scenario: drive a sharded client fleet through
+/// the incremental aggregation engine at increasing fleet sizes, and
+/// verify the snapshot agrees with the offline batch path.
+#[must_use]
+pub fn collector_scale(cfg: &ExperimentConfig) -> String {
+    let (epsilon, w) = (2.0, W);
+    let slots = 200;
+    let range = 0..slots;
+    let mut out = String::from(
+        "## Collector scalability — sharded incremental aggregation\n\n\
+         | users | reports | elapsed | reports/s | \\|pop mean − batch\\| | \\|pop mean − truth\\| |\n\
+         |---|---|---|---|---|---|\n",
+    );
+    for scale in [1usize, 4, 16] {
+        let users = (cfg.fleet_users * scale).max(1);
+        let population = ldp_streams::synthetic::taxi_population(
+            users,
+            slots,
+            cfg.sub_seed(&[12, scale as u64]),
+        );
+        let collector = Collector::new(CollectorConfig::default());
+        let fleet = ClientFleet::new(FleetConfig {
+            kind: SessionKind::Capp,
+            epsilon,
+            w,
+            seed: cfg.sub_seed(&[12, scale as u64, 1]),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        });
+        let start = std::time::Instant::now();
+        let reports = fleet
+            .drive(&population, range.clone(), &collector)
+            .expect("static config");
+        let elapsed = start.elapsed();
+        let snapshot = collector.snapshot();
+        let online = snapshot
+            .windowed_mean(range.clone())
+            .expect("full coverage");
+
+        // Offline reference: the batch crowd path over the same seeded
+        // sessions, and the ground truth without privacy.
+        let adapter = ReseedingSession::new(SessionKind::Capp, epsilon, w, fleet.config().seed)
+            .expect("static config");
+        let mut unused = StdRng::seed_from_u64(0);
+        let batch =
+            crowd::estimated_population_means(&population, range.clone(), &adapter, &mut unused);
+        let batch_mean = batch.iter().sum::<f64>() / batch.len() as f64;
+        let truth = crowd::true_windowed_population_mean(&population, range.clone());
+
+        let rate = reports as f64 / elapsed.as_secs_f64().max(1e-9);
+        out.push_str(&format!(
+            "| {users} | {reports} | {:.2?} | {:.3e} | {:.3e} | {:.3e} |\n",
+            elapsed,
+            rate,
+            (online - batch_mean).abs(),
+            (online - truth).abs(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentConfig {
+        ExperimentConfig {
+            trials: 1,
+            seed: 42,
+            crowd_users: 12,
+            fleet_users: 8,
+        }
+    }
+
+    #[test]
+    fn every_name_runs_and_renders() {
+        let cfg = tiny();
+        for name in names() {
+            let report = run(name, &cfg).unwrap_or_else(|| panic!("missing artifact {name}"));
+            assert!(report.contains('|'), "{name} should render a table");
+        }
+        assert!(run("nope", &cfg).is_none());
+    }
+
+    #[test]
+    fn table1_lists_all_arms_and_datasets() {
+        let md = table1(&tiny());
+        for needle in ["CAPP", "ToPL", "Volume", "Power"] {
+            assert!(md.contains(needle), "table1 missing {needle}");
+        }
+    }
+
+    #[test]
+    fn collector_scale_reports_small_batch_gap() {
+        let md = collector_scale(&tiny());
+        assert!(md.contains("reports/s"));
+        // Three scale rows plus the two header lines.
+        assert_eq!(md.lines().filter(|l| l.starts_with("| ")).count(), 3 + 1);
+    }
+}

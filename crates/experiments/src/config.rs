@@ -14,6 +14,9 @@ pub struct ExperimentConfig {
     pub seed: u64,
     /// Number of users drawn for crowd-level experiments.
     pub crowd_users: usize,
+    /// Base fleet size for the collector scalability scenario (the
+    /// scenario sweeps multiples of this).
+    pub fleet_users: usize,
 }
 
 impl Default for ExperimentConfig {
@@ -26,7 +29,8 @@ impl ExperimentConfig {
     /// Reads the configuration from the environment:
     /// `LDP_TRIALS` (default 30, or 5 under `LDP_QUICK=1`),
     /// `LDP_SEED` (default 0xC0FFEE), `LDP_CROWD_USERS` (default 300,
-    /// or 60 under `LDP_QUICK=1`).
+    /// or 60 under `LDP_QUICK=1`), `LDP_FLEET_USERS` (default 500, or 50
+    /// under `LDP_QUICK=1`).
     #[must_use]
     pub fn from_env() -> Self {
         let quick = std::env::var("LDP_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
@@ -43,6 +47,7 @@ impl ExperimentConfig {
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(0x00C0_FFEE),
             crowd_users: parse("LDP_CROWD_USERS", if quick { 60 } else { 300 }),
+            fleet_users: parse("LDP_FLEET_USERS", if quick { 50 } else { 500 }),
         }
     }
 
@@ -75,6 +80,7 @@ mod tests {
             trials: 1,
             seed: 7,
             crowd_users: 10,
+            fleet_users: 10,
         };
         assert_eq!(cfg.sub_seed(&[1, 2]), cfg.sub_seed(&[1, 2]));
         assert_ne!(cfg.sub_seed(&[1, 2]), cfg.sub_seed(&[2, 1]));

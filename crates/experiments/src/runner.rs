@@ -82,8 +82,7 @@ pub fn subsequence_metric(
                         let published = algo.publish(&truth, &mut rng);
                         let value = match metric {
                             Metric::MeanSquaredError => {
-                                let m_est =
-                                    published.iter().sum::<f64>() / published.len() as f64;
+                                let m_est = published.iter().sum::<f64>() / published.len() as f64;
                                 let m_true = truth.iter().sum::<f64>() / truth.len() as f64;
                                 (m_est - m_true) * (m_est - m_true)
                             }
@@ -232,8 +231,18 @@ mod tests {
     #[test]
     fn metric_is_deterministic_in_seed() {
         let data = Dataset::C6h6.materialize(1, 3);
-        let a = subsequence_metric(&data, AlgorithmSpec::App, &spec(8), Metric::MeanSquaredError);
-        let b = subsequence_metric(&data, AlgorithmSpec::App, &spec(8), Metric::MeanSquaredError);
+        let a = subsequence_metric(
+            &data,
+            AlgorithmSpec::App,
+            &spec(8),
+            Metric::MeanSquaredError,
+        );
+        let b = subsequence_metric(
+            &data,
+            AlgorithmSpec::App,
+            &spec(8),
+            Metric::MeanSquaredError,
+        );
         assert_eq!(a, b);
     }
 
@@ -277,12 +286,8 @@ mod tests {
         let data = Dataset::Taxi.materialize(150, 5);
         let t = spec(10);
         let crowd = population_mean_mse(&data, AlgorithmSpec::SwDirect, &t);
-        let per_user = subsequence_metric(
-            &data,
-            AlgorithmSpec::SwDirect,
-            &t,
-            Metric::MeanSquaredError,
-        );
+        let per_user =
+            subsequence_metric(&data, AlgorithmSpec::SwDirect, &t, Metric::MeanSquaredError);
         assert!(
             crowd < per_user / 5.0,
             "crowd {crowd} should be ≪ per-user {per_user}"

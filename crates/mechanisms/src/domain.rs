@@ -72,7 +72,10 @@ impl Domain {
     /// Panics (debug) if the domain is unbounded.
     #[must_use]
     pub fn normalize(&self, x: f64) -> f64 {
-        debug_assert!(self.width().is_finite(), "cannot normalize unbounded domain");
+        debug_assert!(
+            self.width().is_finite(),
+            "cannot normalize unbounded domain"
+        );
         (x - self.lo) / self.width()
     }
 
@@ -80,7 +83,10 @@ impl Domain {
     /// [`Self::normalize`]).
     #[must_use]
     pub fn denormalize(&self, t: f64) -> f64 {
-        debug_assert!(self.width().is_finite(), "cannot denormalize unbounded domain");
+        debug_assert!(
+            self.width().is_finite(),
+            "cannot denormalize unbounded domain"
+        );
         self.lo + t * self.width()
     }
 }

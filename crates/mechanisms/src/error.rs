@@ -23,7 +23,10 @@ impl fmt::Display for MechanismError {
                 write!(f, "sensitivity must be finite and > 0, got {s}")
             }
             Self::InvalidDomain { lo, hi } => {
-                write!(f, "domain bounds must satisfy lo < hi and be finite, got [{lo}, {hi}]")
+                write!(
+                    f,
+                    "domain bounds must satisfy lo < hi and be finite, got [{lo}, {hi}]"
+                )
             }
         }
     }

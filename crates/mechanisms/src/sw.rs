@@ -159,8 +159,7 @@ impl SquareWave {
     #[must_use]
     pub fn worst_case_deviation_variance(&self) -> f64 {
         let (b, p, q) = (self.b, self.p, self.q);
-        2.0 * b.powi(3) * p / 3.0 - b * b * q * q + b * b * q - b * q * q + b * q
-            - q * q / 4.0
+        2.0 * b.powi(3) * p / 3.0 - b * b * q * q + b * b * q - b * q * q + b * q - q * q / 4.0
             + q / 3.0
     }
 }
@@ -380,7 +379,9 @@ mod tests {
         let eps = 1.3;
         let sw = SquareWave::new(eps).unwrap();
         let bound = eps.exp() * (1.0 + 1e-9);
-        let grid: Vec<f64> = (0..=60).map(|i| -sw.b() + i as f64 * (1.0 + 2.0 * sw.b()) / 60.0).collect();
+        let grid: Vec<f64> = (0..=60)
+            .map(|i| -sw.b() + i as f64 * (1.0 + 2.0 * sw.b()) / 60.0)
+            .collect();
         for i in 0..=20 {
             for j in 0..=20 {
                 let x1 = i as f64 / 20.0;
@@ -389,7 +390,11 @@ mod tests {
                     let f1 = sw.density(x1, y);
                     let f2 = sw.density(x2, y);
                     if f2 > 0.0 {
-                        assert!(f1 / f2 <= bound, "ratio {} at x1={x1} x2={x2} y={y}", f1 / f2);
+                        assert!(
+                            f1 / f2 <= bound,
+                            "ratio {} at x1={x1} x2={x2} y={y}",
+                            f1 / f2
+                        );
                     }
                 }
             }

@@ -59,7 +59,10 @@ fn transition_mass(sw: &SquareWave, v: f64, lo: f64, hi: f64) -> f64 {
 #[must_use]
 pub fn estimate_distribution(sw: &SquareWave, reports: &[f64], cfg: &EmConfig) -> Vec<f64> {
     assert!(!reports.is_empty(), "estimate_distribution: no reports");
-    assert!(cfg.input_bins > 0 && cfg.output_bins > 0, "bins must be positive");
+    assert!(
+        cfg.input_bins > 0 && cfg.output_bins > 0,
+        "bins must be positive"
+    );
 
     let out_dom = sw.output_domain();
     let (out_lo, out_w) = (out_dom.lo(), out_dom.width());

@@ -164,8 +164,7 @@ fn pm_variance_matches_empirical() {
             let n = 200_000;
             let samples: Vec<f64> = (0..n).map(|_| pm.perturb(v, &mut rng)).collect();
             let mean = samples.iter().sum::<f64>() / n as f64;
-            let var =
-                samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+            let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
             let expect = pm.output_variance(v);
             assert!(
                 (var - expect).abs() / expect < 0.05,

@@ -16,16 +16,8 @@
 pub fn wasserstein_cdf_sum(a: &[f64], b: &[f64], bins: usize) -> f64 {
     assert!(!a.is_empty() && !b.is_empty(), "wasserstein: empty sample");
     assert!(bins > 0, "wasserstein: bins must be positive");
-    let lo = a
-        .iter()
-        .chain(b)
-        .copied()
-        .fold(f64::INFINITY, f64::min);
-    let hi = a
-        .iter()
-        .chain(b)
-        .copied()
-        .fold(f64::NEG_INFINITY, f64::max);
+    let lo = a.iter().chain(b).copied().fold(f64::INFINITY, f64::min);
+    let hi = a.iter().chain(b).copied().fold(f64::NEG_INFINITY, f64::max);
     if lo == hi {
         return 0.0;
     }
@@ -56,11 +48,7 @@ pub fn wasserstein_sorted(a: &[f64], b: &[f64]) -> f64 {
     let mut sb = b.to_vec();
     sa.sort_by(f64::total_cmp);
     sb.sort_by(f64::total_cmp);
-    sa.iter()
-        .zip(&sb)
-        .map(|(x, y)| (x - y).abs())
-        .sum::<f64>()
-        / a.len() as f64
+    sa.iter().zip(&sb).map(|(x, y)| (x - y).abs()).sum::<f64>() / a.len() as f64
 }
 
 /// Kolmogorov–Smirnov statistic: the supremum distance between the two
@@ -88,11 +76,7 @@ pub fn jsd(a: &[f64], b: &[f64], bins: usize) -> f64 {
     assert!(!a.is_empty() && !b.is_empty(), "jsd: empty sample");
     assert!(bins > 0, "jsd: bins must be positive");
     let lo = a.iter().chain(b).copied().fold(f64::INFINITY, f64::min);
-    let hi = a
-        .iter()
-        .chain(b)
-        .copied()
-        .fold(f64::NEG_INFINITY, f64::max);
+    let hi = a.iter().chain(b).copied().fold(f64::NEG_INFINITY, f64::max);
     if lo == hi {
         return 0.0;
     }

@@ -1,0 +1,17 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The workspace builds with no network access, so the real serde crates
+//! cannot be fetched. Config/report types derive `Serialize`/`Deserialize`
+//! for forward compatibility but nothing serializes yet; this shim provides
+//! marker traits plus no-op derives so those annotations keep compiling.
+//! Swap back to real serde by replacing the `[patch]`-style path deps in
+//! the workspace manifest once a registry is available.
+
+/// Marker trait mirroring `serde::Serialize` (no methods; nothing in this
+/// workspace serializes yet).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods).
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};

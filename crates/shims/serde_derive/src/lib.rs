@@ -1,0 +1,18 @@
+//! No-op `Serialize` / `Deserialize` derive macros for the offline
+//! [`serde`] shim. Nothing in this workspace actually serializes — the
+//! derives exist only so `#[derive(Serialize, Deserialize)]` on config
+//! and report types keeps compiling without the real serde crates.
+
+use proc_macro::TokenStream;
+
+/// Accepts the annotated item and emits nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts the annotated item and emits nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

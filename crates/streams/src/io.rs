@@ -44,7 +44,10 @@ impl fmt::Display for LoadError {
         match self {
             Self::Io(e) => write!(f, "i/o error: {e}"),
             Self::Parse { line, column, cell } => {
-                write!(f, "line {line}, column {column}: cannot parse {cell:?} as a number")
+                write!(
+                    f,
+                    "line {line}, column {column}: cannot parse {cell:?} as a number"
+                )
             }
             Self::Empty => write!(f, "no usable rows in file"),
             Self::Ragged {
@@ -71,11 +74,7 @@ impl From<std::io::Error> for LoadError {
     }
 }
 
-fn parse_rows(
-    text: &str,
-    delimiter: char,
-    skip_header: bool,
-) -> Result<Vec<Vec<f64>>, LoadError> {
+fn parse_rows(text: &str, delimiter: char, skip_header: bool) -> Result<Vec<Vec<f64>>, LoadError> {
     let mut rows = Vec::new();
     let mut expected = None;
     for (idx, line) in text.lines().enumerate() {
@@ -116,11 +115,7 @@ fn parse_rows(
 ///
 /// # Errors
 /// Returns a [`LoadError`] on I/O, parse, or shape problems.
-pub fn load_stream_csv(
-    path: &Path,
-    column: usize,
-    skip_header: bool,
-) -> Result<Stream, LoadError> {
+pub fn load_stream_csv(path: &Path, column: usize, skip_header: bool) -> Result<Stream, LoadError> {
     let text = fs::read_to_string(path)?;
     let rows = parse_rows(&text, ',', skip_header)?;
     let mut values = Vec::with_capacity(rows.len());
@@ -146,11 +141,7 @@ pub fn load_stream_csv(
 pub fn load_population_csv(path: &Path, skip_header: bool) -> Result<Population, LoadError> {
     let text = fs::read_to_string(path)?;
     let rows = parse_rows(&text, ',', skip_header)?;
-    let lo = rows
-        .iter()
-        .flatten()
-        .copied()
-        .fold(f64::INFINITY, f64::min);
+    let lo = rows.iter().flatten().copied().fold(f64::INFINITY, f64::min);
     let hi = rows
         .iter()
         .flatten()
@@ -232,8 +223,7 @@ mod tests {
 
     #[test]
     fn missing_file_is_io_error() {
-        let err =
-            load_stream_csv(Path::new("/nonexistent/ldp.csv"), 0, false).unwrap_err();
+        let err = load_stream_csv(Path::new("/nonexistent/ldp.csv"), 0, false).unwrap_err();
         assert!(matches!(err, LoadError::Io(_)));
     }
 }

@@ -39,6 +39,36 @@ impl Population {
         self.users.iter()
     }
 
+    /// Splits the user list into at most `shards` contiguous, near-equal
+    /// slices, each tagged with the index of its first user. Used by
+    /// collector fleets to drive users in parallel while keeping globally
+    /// stable user ids.
+    ///
+    /// Returns fewer than `shards` slices when there are fewer users;
+    /// never returns empty slices.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    #[must_use]
+    pub fn shard_slices(&self, shards: usize) -> Vec<(usize, &[Stream])> {
+        assert!(shards > 0, "shard count must be positive");
+        let n = self.users.len();
+        let shards = shards.min(n.max(1));
+        let base = n / shards;
+        let extra = n % shards;
+        let mut out = Vec::with_capacity(shards);
+        let mut start = 0;
+        for i in 0..shards {
+            let len = base + usize::from(i < extra);
+            if len == 0 {
+                continue;
+            }
+            out.push((start, &self.users[start..start + len]));
+            start += len;
+        }
+        out
+    }
+
     /// True means of each user's subsequence `range` — the ground-truth
     /// population distribution for crowd-level statistics.
     ///
@@ -139,6 +169,36 @@ mod tests {
     }
 
     #[test]
+    fn shard_slices_partition_users_in_order() {
+        let p: Population = (0..10).map(|i| Stream::new(vec![i as f64])).collect();
+        for shards in [1, 2, 3, 7, 10, 16] {
+            let slices = p.shard_slices(shards);
+            assert!(slices.len() <= shards);
+            let total: usize = slices.iter().map(|(_, s)| s.len()).sum();
+            assert_eq!(total, 10, "{shards} shards");
+            let mut expect_start = 0;
+            for (start, slice) in &slices {
+                assert_eq!(*start, expect_start);
+                assert!(!slice.is_empty());
+                expect_start += slice.len();
+            }
+        }
+    }
+
+    #[test]
+    fn shard_slices_of_empty_population() {
+        let p = Population::default();
+        assert!(p.shard_slices(4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count must be positive")]
+    fn shard_slices_zero_panics() {
+        let p = Population::default();
+        let _ = p.shard_slices(0);
+    }
+
+    #[test]
     fn multidim_accessors() {
         let m = MultiDimStream::new(vec![
             Stream::new(vec![0.1, 0.2]),
@@ -152,10 +212,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "unequal dimension lengths")]
     fn multidim_rejects_ragged() {
-        let _ = MultiDimStream::new(vec![
-            Stream::new(vec![0.1]),
-            Stream::new(vec![0.3, 0.4]),
-        ]);
+        let _ = MultiDimStream::new(vec![Stream::new(vec![0.1]), Stream::new(vec![0.3, 0.4])]);
     }
 
     #[test]

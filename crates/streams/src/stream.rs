@@ -103,7 +103,9 @@ impl Stream {
 
     /// Affinely rescales values from `[0,1]` onto `[lo, hi]` in place.
     pub fn rescale(&mut self, lo: f64, hi: f64) {
-        self.values.iter_mut().for_each(|v| *v = lo + *v * (hi - lo));
+        self.values
+            .iter_mut()
+            .for_each(|v| *v = lo + *v * (hi - lo));
     }
 }
 

@@ -54,10 +54,7 @@ mod tests {
         let v = s.values();
         let mean = s.mean();
         let var: f64 = v.iter().map(|x| (x - mean) * (x - mean)).sum();
-        let cov: f64 = v
-            .windows(2)
-            .map(|w| (w[0] - mean) * (w[1] - mean))
-            .sum();
+        let cov: f64 = v.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum();
         let rho = cov / var;
         assert!(rho > 0.7, "lag-1 autocorrelation too weak: {rho}");
     }
@@ -67,6 +64,9 @@ mod tests {
         let s = c6h6(8000, 7);
         let mean = s.mean();
         let peak = s.max();
-        assert!(peak > mean * 2.0, "expected pollution spikes above the mean");
+        assert!(
+            peak > mean * 2.0,
+            "expected pollution spikes above the mean"
+        );
     }
 }

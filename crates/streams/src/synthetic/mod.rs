@@ -56,7 +56,12 @@ mod tests {
     #[test]
     fn all_single_streams_are_unit_normalized() {
         for s in [volume(1000, 3), c6h6(1000, 4), sinusoidal(1000, 0.01)] {
-            assert!(s.min() >= 0.0 && s.max() <= 1.0, "range [{}, {}]", s.min(), s.max());
+            assert!(
+                s.min() >= 0.0 && s.max() <= 1.0,
+                "range [{}, {}]",
+                s.min(),
+                s.max()
+            );
         }
     }
 }

@@ -23,8 +23,7 @@ pub fn sin_multidim(d: usize, len: usize, seed: u64) -> MultiDimStream {
             Stream::new(
                 (0..len)
                     .map(|t| {
-                        0.5 + 0.5
-                            * (2.0 * std::f64::consts::PI * freq * t as f64 + phase).sin()
+                        0.5 + 0.5 * (2.0 * std::f64::consts::PI * freq * t as f64 + phase).sin()
                     })
                     .collect(),
             )

@@ -74,6 +74,9 @@ mod tests {
                 .collect();
             vals.iter().sum::<f64>() / vals.len() as f64
         };
-        assert!(avg_day(6) < avg_day(2), "weekend should be quieter than Wednesday");
+        assert!(
+            avg_day(6) < avg_day(2),
+            "weekend should be quieter than Wednesday"
+        );
     }
 }

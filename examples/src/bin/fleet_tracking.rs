@@ -46,10 +46,7 @@ fn main() {
         "\n{:<12} {:>12} {:>12} {:>14}",
         "algorithm", "est. mean", "est. std", "Wasserstein"
     );
-    let algos: Vec<(&str, &dyn StreamMechanism)> = vec![
-        ("APP", &app),
-        ("APP-S", &app_sampling),
-    ];
+    let algos: Vec<(&str, &dyn StreamMechanism)> = vec![("APP", &app), ("APP-S", &app_sampling)];
     for (name, algo) in algos {
         let est = estimated_population_means(&fleet, range.clone(), algo, &mut rng);
         let s: Summary = est.iter().copied().collect();

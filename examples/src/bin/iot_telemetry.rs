@@ -45,10 +45,7 @@ fn main() {
     let true_means: Vec<f64> = fleet.iter().map(|s| s.mean()).collect();
 
     println!("\nfleet of {devices} devices, ε = {epsilon}, w = {w}");
-    println!(
-        "{:<12} {:>28}",
-        "algorithm", "Wasserstein(means est, true)"
-    );
+    println!("{:<12} {:>28}", "algorithm", "Wasserstein(means est, true)");
     for (name, algo) in &algos {
         let est_means: Vec<f64> = fleet
             .iter()

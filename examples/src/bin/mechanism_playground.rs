@@ -6,9 +6,7 @@
 //! ```
 
 use ldp_core::{DirectMechanismStream, GenericApp, StreamMechanism};
-use ldp_mechanisms::{
-    Laplace, Mechanism, Piecewise, SquareWave, StochasticRounding,
-};
+use ldp_mechanisms::{Laplace, Mechanism, Piecewise, SquareWave, StochasticRounding};
 use ldp_metrics::{cosine_distance, mse};
 use ldp_streams::synthetic::sinusoidal;
 use rand::SeedableRng;

@@ -33,11 +33,11 @@ fn main() {
 
     println!("w-event LDP stream publication (ε = {epsilon}, w = {w})");
     println!("stream length: {} slots\n", truth.len());
-    println!("{:<12} {:>12} {:>18}", "algorithm", "MSE", "cosine distance");
-    for (name, published) in [
-        ("SW-direct", &published_naive),
-        ("CAPP", &published_capp),
-    ] {
+    println!(
+        "{:<12} {:>12} {:>18}",
+        "algorithm", "MSE", "cosine distance"
+    );
+    for (name, published) in [("SW-direct", &published_naive), ("CAPP", &published_capp)] {
         println!(
             "{:<12} {:>12.5} {:>18.5}",
             name,
@@ -50,5 +50,8 @@ fn main() {
     let capp_mean = published_capp.iter().sum::<f64>() / truth.len() as f64;
     println!("\ntrue weekly mean:      {true_mean:.4}");
     println!("CAPP estimated mean:   {capp_mean:.4}");
-    println!("absolute error:        {:.4}", (true_mean - capp_mean).abs());
+    println!(
+        "absolute error:        {:.4}",
+        (true_mean - capp_mean).abs()
+    );
 }

@@ -62,8 +62,7 @@ fn highdim_strategies_improve_with_budget() {
             .iter()
             .map(|&eps| {
                 let published =
-                    publish_multidim(&series, PpKind::App, strategy, eps, 10, &mut rng)
-                        .unwrap();
+                    publish_multidim(&series, PpKind::App, strategy, eps, 10, &mut rng).unwrap();
                 (0..4)
                     .map(|k| mse(&published[k], series.dim(k).values()))
                     .sum::<f64>()
@@ -119,8 +118,7 @@ fn population_csv_through_crowd_estimation() {
     let pop = load_population_csv(&path, false).unwrap();
     assert_eq!(pop.len(), 20);
     let algo = ldp_core::App::new(4.0, 10).unwrap();
-    let est =
-        ldp_core::crowd::estimated_population_means(&pop, 0..30, &algo, &mut test_rng(36));
+    let est = ldp_core::crowd::estimated_population_means(&pop, 0..30, &algo, &mut test_rng(36));
     assert_eq!(est.len(), 20);
     assert!(est.iter().all(|m| m.is_finite()));
     std::fs::remove_file(path).unwrap();

@@ -23,12 +23,8 @@ fn pipeline_is_reproducible() {
         AlgorithmSpec::ToPL,
         AlgorithmSpec::AppSampling,
     ] {
-        let a = alg
-            .build(1.0, 10)
-            .publish(data.values(), &mut test_rng(77));
-        let b = alg
-            .build(1.0, 10)
-            .publish(data.values(), &mut test_rng(77));
+        let a = alg.build(1.0, 10).publish(data.values(), &mut test_rng(77));
+        let b = alg.build(1.0, 10).publish(data.values(), &mut test_rng(77));
         assert_eq!(a, b, "{} is not reproducible", alg.label());
     }
 }
@@ -103,12 +99,8 @@ fn crowd_distribution_tightens_with_budget() {
         .iter()
         .map(|&eps| {
             let algo = App::new(eps, 30).unwrap();
-            let est = crowd::estimated_population_means(
-                &population,
-                range.clone(),
-                &algo,
-                &mut rng,
-            );
+            let est =
+                crowd::estimated_population_means(&population, range.clone(), &algo, &mut rng);
             wasserstein_sorted(&est, &truth)
         })
         .collect();
@@ -141,7 +133,12 @@ fn smoothing_reduces_stream_mse() {
 #[test]
 fn pp_algorithms_preserve_length_on_all_datasets() {
     let mut rng = test_rng(9);
-    for ds in [Dataset::C6h6, Dataset::Volume, Dataset::Taxi, Dataset::Power] {
+    for ds in [
+        Dataset::C6h6,
+        Dataset::Volume,
+        Dataset::Taxi,
+        Dataset::Power,
+    ] {
         let data = ds.materialize(10, 26);
         let sub = data.random_subsequence(40, &mut rng).to_vec();
         for publisher in [

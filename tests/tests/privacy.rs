@@ -3,9 +3,7 @@
 
 use integration_tests::test_rng;
 use ldp_core::{optimal_sample_count, PpKind, Sampling, WEventAccountant};
-use ldp_mechanisms::{
-    Hybrid, Laplace, Mechanism, Piecewise, SquareWave, StochasticRounding,
-};
+use ldp_mechanisms::{Hybrid, Laplace, Mechanism, Piecewise, SquareWave, StochasticRounding};
 use ldp_streams::are_w_neighboring;
 
 /// Every mechanism's output density must satisfy f(y|x) ≤ e^ε·f(y|x')
