@@ -47,6 +47,10 @@ impl StreamMechanism for SwDirect {
         self.inner.publish(xs, rng)
     }
 
+    fn publish_into(&self, xs: &[f64], out: &mut Vec<f64>, rng: &mut dyn RngCore) {
+        self.inner.publish_into(xs, out, rng);
+    }
+
     fn name(&self) -> &'static str {
         "SW-direct"
     }

@@ -6,7 +6,7 @@
 //! `LDP_BENCH_USERS` / `LDP_BENCH_SLOTS` (defaults 2,500 × 400 = 1M).
 
 use ldp_collector::{ClientFleet, Collector, CollectorConfig, FleetConfig};
-use ldp_core::SessionKind;
+use ldp_core::{PipelineSpec, SessionKind};
 use ldp_streams::synthetic::taxi_population;
 use std::time::Instant;
 
@@ -39,7 +39,7 @@ fn main() {
                 ..CollectorConfig::default()
             });
             let fleet = ClientFleet::new(FleetConfig {
-                kind,
+                spec: PipelineSpec::sw(kind),
                 epsilon: 2.0,
                 w: 10,
                 seed: 7,

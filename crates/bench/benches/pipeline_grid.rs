@@ -1,0 +1,78 @@
+//! Pipeline-grid throughput benchmark: every SessionKind × MechanismKind
+//! cell drives a client fleet through the sharded collector at fixed
+//! `(ε, w)`, so mechanisms can be compared on the same end-to-end path —
+//! and regressions in the per-report hot path show up as a drop against
+//! the `collector` bench's SW baseline (~15M reports/s on this class of
+//! container).
+//!
+//! Run: `cargo bench -p ldp-bench --bench pipeline_grid`. Scale with
+//! `LDP_BENCH_USERS` / `LDP_BENCH_SLOTS` (defaults 2,000 × 250 = 500k
+//! reports per cell, 20 cells).
+
+use ldp_collector::{ClientFleet, Collector, CollectorConfig, FleetConfig};
+use ldp_core::PipelineSpec;
+use ldp_streams::synthetic::taxi_population;
+use std::time::Instant;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let users = env_usize("LDP_BENCH_USERS", 2_000);
+    let slots = env_usize("LDP_BENCH_SLOTS", 250);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let (epsilon, w) = (2.0, 10);
+    eprintln!(
+        "# pipeline grid bench: {users} users x {slots} slots ({} reports/cell), \
+         eps={epsilon} w={w}, {threads} threads",
+        users * slots
+    );
+
+    let gen_start = Instant::now();
+    let population = taxi_population(users, slots, 0xFEED);
+    eprintln!("# population generated in {:.2?}", gen_start.elapsed());
+
+    let mut fastest: Option<(String, f64)> = None;
+    let mut slowest: Option<(String, f64)> = None;
+    for spec in PipelineSpec::grid() {
+        let collector = Collector::new(CollectorConfig::default());
+        let fleet = ClientFleet::new(FleetConfig {
+            spec,
+            epsilon,
+            w,
+            seed: 7,
+            threads,
+        });
+        let start = Instant::now();
+        let reports = fleet
+            .drive(&population, 0..slots, &collector)
+            .expect("static config");
+        let elapsed = start.elapsed();
+        let snapshot = collector.snapshot();
+        assert_eq!(snapshot.total_reports(), reports);
+        assert_eq!(collector.rejected_reports(), 0);
+        let rate = reports as f64 / elapsed.as_secs_f64();
+        println!(
+            "{:<14} {reports:>9} reports in {elapsed:>9.2?}  ({rate:>11.0} reports/s)  pop_mean={:.4}",
+            spec.label(),
+            snapshot.population_mean(),
+        );
+        if fastest.as_ref().is_none_or(|(_, r)| rate > *r) {
+            fastest = Some((spec.label(), rate));
+        }
+        if slowest.as_ref().is_none_or(|(_, r)| rate < *r) {
+            slowest = Some((spec.label(), rate));
+        }
+    }
+    if let (Some((f_label, f_rate)), Some((s_label, s_rate))) = (fastest, slowest) {
+        eprintln!(
+            "# fastest {f_label} at {f_rate:.0} reports/s, slowest {s_label} at {s_rate:.0} reports/s"
+        );
+    }
+}

@@ -85,14 +85,21 @@ impl ShardAccumulator {
 
     /// Folds one report in.
     pub fn ingest(&mut self, report: &SlotReport) {
-        let slot = usize::try_from(report.slot).expect("slot index overflows usize");
+        self.ingest_parts(report.user, report.slot, report.value);
+    }
+
+    /// Folds one report in from its columnar parts — the shape the
+    /// engine's column-walking ingest loop hands over, with no row struct
+    /// materialized in between.
+    pub fn ingest_parts(&mut self, user: u64, slot: u64, value: f64) {
+        let slot = usize::try_from(slot).expect("slot index overflows usize");
         if slot >= self.slots.len() {
             self.slots.resize(slot + 1, SlotStats::default());
         }
-        self.slots[slot].add(report.value);
-        let user = self.users.entry(report.user).or_default();
+        self.slots[slot].add(value);
+        let user = self.users.entry(user).or_default();
         user.count += 1;
-        user.sum += report.value;
+        user.sum += value;
         self.reports += 1;
     }
 

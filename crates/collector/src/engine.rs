@@ -48,6 +48,7 @@ pub struct Collector {
     shards: Vec<Mutex<ShardAccumulator>>,
     max_slots: u64,
     dropped: AtomicU64,
+    rejected: AtomicU64,
 }
 
 impl Default for Collector {
@@ -70,6 +71,7 @@ impl Collector {
                 .collect(),
             max_slots: config.max_slots,
             dropped: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
         }
     }
 
@@ -88,42 +90,48 @@ impl Collector {
 
     /// Ingests one batch, locking each touched shard once. Returns the
     /// number of reports accepted; reports with `slot >= max_slots` are
-    /// dropped (see [`Self::dropped_reports`]).
+    /// dropped (see [`Self::dropped_reports`]) and non-finite values are
+    /// rejected (see [`Self::rejected_reports`]) — [`ReportBatch::push`]
+    /// already refuses non-finite values, so the ingest-side guard is
+    /// defense in depth against batches built some other way.
     ///
-    /// Single-user batches — the shape every [`crate::ClientFleet`]
-    /// upload has — take a fast path: one shard lock, no partitioning
-    /// allocation.
+    /// The batch is columnar: the shard-routing pass reads only the user
+    /// column, and accumulation streams the slot/value columns. Single-
+    /// user batches — the shape every [`crate::ClientFleet`] upload has —
+    /// take a fast path: one shard lock, no partitioning allocation.
     pub fn ingest(&self, batch: &ReportBatch) -> usize {
-        let reports = batch.reports();
-        if reports.is_empty() {
+        let (users, slots, values) = (batch.users(), batch.slots(), batch.values());
+        if users.is_empty() {
             return 0;
         }
         let mut accepted = 0usize;
         let mut dropped = 0u64;
-        let first_shard = self.shard_of(reports[0].user);
+        let mut rejected = 0u64;
+        let mut fold = |shard: &mut ShardAccumulator, i: usize| {
+            if slots[i] >= self.max_slots {
+                dropped += 1;
+            } else if !values[i].is_finite() {
+                rejected += 1;
+            } else {
+                shard.ingest_parts(users[i], slots[i], values[i]);
+                accepted += 1;
+            }
+        };
+        let first_shard = self.shard_of(users[0]);
         let uniform =
-            self.shards.len() == 1 || reports.iter().all(|r| self.shard_of(r.user) == first_shard);
+            self.shards.len() == 1 || users.iter().all(|&u| self.shard_of(u) == first_shard);
         if uniform {
             let mut shard = self.shards[first_shard]
                 .lock()
                 .expect("collector shard poisoned");
-            for report in reports {
-                if report.slot < self.max_slots {
-                    shard.ingest(report);
-                    accepted += 1;
-                } else {
-                    dropped += 1;
-                }
+            for i in 0..users.len() {
+                fold(&mut shard, i);
             }
         } else {
             // Partition indices by shard first so each mutex is taken once.
             let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
-            for (i, report) in reports.iter().enumerate() {
-                if report.slot < self.max_slots {
-                    by_shard[self.shard_of(report.user)].push(i);
-                } else {
-                    dropped += 1;
-                }
+            for (i, &user) in users.iter().enumerate() {
+                by_shard[self.shard_of(user)].push(i);
             }
             for (shard_idx, indices) in by_shard.iter().enumerate() {
                 if indices.is_empty() {
@@ -133,13 +141,15 @@ impl Collector {
                     .lock()
                     .expect("collector shard poisoned");
                 for &i in indices {
-                    shard.ingest(&reports[i]);
+                    fold(&mut shard, i);
                 }
-                accepted += indices.len();
             }
         }
         if dropped > 0 {
             self.dropped.fetch_add(dropped, Ordering::Relaxed);
+        }
+        if rejected > 0 {
+            self.rejected.fetch_add(rejected, Ordering::Relaxed);
         }
         accepted
     }
@@ -158,6 +168,25 @@ impl Collector {
     #[must_use]
     pub fn dropped_reports(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Reports rejected for carrying a non-finite value (one NaN folded
+    /// into a shard would poison every mean it touches) — whether screened
+    /// at ingest or already refused while the upload batch was built (the
+    /// fleet forwards those counts here).
+    #[must_use]
+    pub fn rejected_reports(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Folds in rejections that happened upstream of ingest (e.g.
+    /// [`ReportBatch::push`] refusing a non-finite client report), so
+    /// [`Self::rejected_reports`] accounts for every poison value seen
+    /// anywhere on the upload path.
+    pub(crate) fn note_upstream_rejections(&self, n: u64) {
+        if n > 0 {
+            self.rejected.fetch_add(n, Ordering::Relaxed);
+        }
     }
 
     /// Takes a merged, immutable snapshot of the current crowd state.
@@ -281,6 +310,28 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_panics() {
         let _ = Collector::new(config(0));
+    }
+
+    #[test]
+    fn non_finite_values_are_rejected_at_ingest() {
+        // ReportBatch::push screens NaN already; the wire path
+        // (from_columns) does not, so ingest must catch it — on both the
+        // single-shard fast path and the partitioned path.
+        for shards in [1usize, 4] {
+            let c = Collector::new(config(shards));
+            let batch = ReportBatch::from_columns(
+                vec![1, 2, 3, 4],
+                vec![0, 0, 1, 1],
+                vec![0.5, f64::NAN, f64::INFINITY, 0.25],
+            );
+            assert_eq!(c.ingest(&batch), 2, "{shards} shards");
+            assert_eq!(c.rejected_reports(), 2);
+            assert_eq!(c.dropped_reports(), 0);
+            let snap = c.snapshot();
+            assert_eq!(snap.total_reports(), 2);
+            assert!(snap.slots().iter().all(|s| s.sum.is_finite()));
+            assert!((snap.slot_mean(0).unwrap() - 0.5).abs() < 1e-12);
+        }
     }
 
     #[test]

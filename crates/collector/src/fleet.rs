@@ -9,7 +9,7 @@
 
 use crate::engine::Collector;
 use crate::report::ReportBatch;
-use ldp_core::online::{OnlineSession, SessionKind};
+use ldp_core::online::{OnlineSession, PipelineSpec};
 use ldp_core::StreamMechanism;
 use ldp_streams::Population;
 use rand::rngs::StdRng;
@@ -20,8 +20,8 @@ use std::ops::Range;
 /// Fleet configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct FleetConfig {
-    /// Which session flavor every client runs.
-    pub kind: SessionKind,
+    /// Which `(feedback rule, mechanism)` pipeline every client runs.
+    pub spec: PipelineSpec,
     /// Window budget ε.
     pub epsilon: f64,
     /// Window size w.
@@ -66,11 +66,14 @@ impl ClientFleet {
     /// numbered relative to `range.start`). Returns the total number of
     /// reports uploaded.
     ///
-    /// Deterministic in `(population, range, config.seed, config.kind)`:
+    /// Deterministic in `(population, range, config.seed, config.spec)`:
     /// the thread count only changes scheduling, not any published value.
+    /// Each worker reuses one publish buffer and one columnar
+    /// [`ReportBatch`] across its users, so the steady-state upload loop
+    /// performs no per-user heap allocation.
     ///
     /// # Errors
-    /// Returns an error if `(epsilon, w)` is invalid for the session kind.
+    /// Returns an error if `(epsilon, w)` is invalid for the pipeline.
     ///
     /// # Panics
     /// Panics if `range` is out of bounds for any user or `threads == 0`.
@@ -81,7 +84,7 @@ impl ClientFleet {
         collector: &Collector,
     ) -> ldp_core::Result<u64> {
         // Validate the configuration up front so workers can't fail.
-        let _ = OnlineSession::of_kind(self.config.kind, self.config.epsilon, self.config.w)?;
+        let _ = OnlineSession::of_spec(self.config.spec, self.config.epsilon, self.config.w)?;
         let cfg = self.config;
         let shards = population.shard_slices(cfg.threads);
         let total = std::thread::scope(|scope| {
@@ -91,16 +94,22 @@ impl ClientFleet {
                     let range = range.clone();
                     scope.spawn(move || {
                         let mut uploaded = 0u64;
+                        let mut published: Vec<f64> = Vec::new();
+                        let mut batch = ReportBatch::new();
                         for (offset, stream) in users.iter().enumerate() {
                             let user = (start + offset) as u64;
-                            let mut session = OnlineSession::of_kind(cfg.kind, cfg.epsilon, cfg.w)
+                            let mut session = OnlineSession::of_spec(cfg.spec, cfg.epsilon, cfg.w)
                                 .expect("config validated above");
                             let mut rng = StdRng::seed_from_u64(user_seed(cfg.seed, user));
                             let xs = stream.subsequence(range.clone());
-                            let published = session.report_all(xs, &mut rng);
-                            uploaded += collector
-                                .ingest(&ReportBatch::from_stream(user, 0, &published))
-                                as u64;
+                            session.report_all_into(xs, &mut published, &mut rng);
+                            batch.clear();
+                            batch.push_stream(user, 0, &published);
+                            // A session must never publish NaN; if one ever
+                            // does, the refusal has to surface in the
+                            // collector's ledger, not vanish client-side.
+                            collector.note_upstream_rejections(batch.rejected_non_finite());
+                            uploaded += collector.ingest(&batch) as u64;
                         }
                         uploaded
                     })
@@ -127,7 +136,7 @@ impl ClientFleet {
 /// second pass, or the means will silently come from the wrong seeds.
 #[derive(Debug)]
 pub struct ReseedingSession {
-    kind: SessionKind,
+    spec: PipelineSpec,
     epsilon: f64,
     w: usize,
     base_seed: u64,
@@ -138,16 +147,16 @@ impl ReseedingSession {
     /// Creates the adapter; the first `publish` call plays user 0.
     ///
     /// # Errors
-    /// Returns an error if `(epsilon, w)` is invalid for the session kind.
+    /// Returns an error if `(epsilon, w)` is invalid for the pipeline.
     pub fn new(
-        kind: SessionKind,
+        spec: PipelineSpec,
         epsilon: f64,
         w: usize,
         base_seed: u64,
     ) -> ldp_core::Result<Self> {
-        let _ = OnlineSession::of_kind(kind, epsilon, w)?;
+        let _ = OnlineSession::of_spec(spec, epsilon, w)?;
         Ok(Self {
-            kind,
+            spec,
             epsilon,
             w,
             base_seed,
@@ -172,7 +181,7 @@ impl StreamMechanism for ReseedingSession {
     fn publish(&self, xs: &[f64], _rng: &mut dyn RngCore) -> Vec<f64> {
         let user = self.next_user.get();
         self.next_user.set(user + 1);
-        let mut session = OnlineSession::of_kind(self.kind, self.epsilon, self.w)
+        let mut session = OnlineSession::of_spec(self.spec, self.epsilon, self.w)
             .expect("config validated at construction");
         let mut rng = StdRng::seed_from_u64(user_seed(self.base_seed, user));
         session.report_all(xs, &mut rng)
@@ -187,11 +196,17 @@ impl StreamMechanism for ReseedingSession {
 mod tests {
     use super::*;
     use crate::engine::CollectorConfig;
+    use ldp_core::online::SessionKind;
+    use ldp_mechanisms::MechanismKind;
     use ldp_streams::synthetic::taxi_population;
 
     fn fleet(kind: SessionKind, threads: usize) -> ClientFleet {
+        fleet_spec(PipelineSpec::sw(kind), threads)
+    }
+
+    fn fleet_spec(spec: PipelineSpec, threads: usize) -> ClientFleet {
         ClientFleet::new(FleetConfig {
-            kind,
+            spec,
             epsilon: 2.0,
             w: 8,
             seed: 1234,
@@ -245,7 +260,8 @@ mod tests {
         fleet(SessionKind::Ipp, 3)
             .drive(&pop, 0..18, &collector)
             .unwrap();
-        let adapter = ReseedingSession::new(SessionKind::Ipp, 2.0, 8, 1234).unwrap();
+        let adapter =
+            ReseedingSession::new(PipelineSpec::sw(SessionKind::Ipp), 2.0, 8, 1234).unwrap();
         let mut unused = StdRng::seed_from_u64(0);
         let batch_means =
             ldp_core::crowd::estimated_population_means(&pop, 0..18, &adapter, &mut unused);
@@ -258,7 +274,8 @@ mod tests {
 
     #[test]
     fn reseeding_session_reset_replays_from_user_zero() {
-        let adapter = ReseedingSession::new(SessionKind::App, 2.0, 8, 77).unwrap();
+        let adapter =
+            ReseedingSession::new(PipelineSpec::sw(SessionKind::App), 2.0, 8, 77).unwrap();
         let mut unused = StdRng::seed_from_u64(0);
         let xs = [0.4; 16];
         let first = adapter.publish(&xs, &mut unused);
@@ -274,7 +291,7 @@ mod tests {
         let pop = taxi_population(3, 10, 1);
         let collector = Collector::default();
         let bad = ClientFleet::new(FleetConfig {
-            kind: SessionKind::App,
+            spec: PipelineSpec::sw(SessionKind::App),
             epsilon: 0.0,
             w: 5,
             seed: 1,
@@ -282,5 +299,31 @@ mod tests {
         });
         assert!(bad.drive(&pop, 0..10, &collector).is_err());
         assert_eq!(collector.total_reports(), 0);
+    }
+
+    #[test]
+    fn non_sw_pipelines_drive_end_to_end() {
+        let pop = taxi_population(20, 16, 11);
+        for mechanism in [MechanismKind::Laplace, MechanismKind::Hybrid] {
+            let collector = Collector::default();
+            let spec = PipelineSpec::new(SessionKind::App, mechanism);
+            let n = fleet_spec(spec, 3).drive(&pop, 0..16, &collector).unwrap();
+            assert_eq!(n, 20 * 16, "{}", spec.label());
+            let snap = collector.snapshot();
+            assert_eq!(snap.user_count(), 20);
+            assert!(snap.per_user_means().iter().all(|m| m.is_finite()));
+            assert_eq!(collector.rejected_reports(), 0);
+        }
+    }
+
+    #[test]
+    fn thread_count_is_invariant_for_non_sw_mechanisms_too() {
+        let pop = taxi_population(15, 12, 5);
+        let spec = PipelineSpec::new(SessionKind::Capp, MechanismKind::StochasticRounding);
+        let a = Collector::default();
+        let b = Collector::default();
+        fleet_spec(spec, 1).drive(&pop, 0..12, &a).unwrap();
+        fleet_spec(spec, 6).drive(&pop, 0..12, &b).unwrap();
+        assert_eq!(a.snapshot().per_user_means(), b.snapshot().per_user_means());
     }
 }

@@ -18,7 +18,9 @@
 //!                                                            CollectorSnapshot
 //! ```
 //!
-//! * [`ReportBatch`] — the ingestion unit: `(user, slot, value)` triples.
+//! * [`ReportBatch`] — the ingestion unit: columnar (struct-of-arrays)
+//!   `(user, slot, value)` triples. Non-finite values are rejected at
+//!   `push` and again at ingest, so one NaN can never poison a shard.
 //! * [`Collector`] — routes each report to a shard keyed by user id; each
 //!   shard keeps per-slot count/sum/sum-of-squares plus per-user running
 //!   sums, so ingestion is O(1) per report and shards only contend on
@@ -29,21 +31,26 @@
 //!   per-user means. Snapshot numbers agree with the offline batch path
 //!   ([`ldp_core::crowd::estimated_population_means`]) — see
 //!   [`ReseedingSession`] and the `tests/` crate's agreement tests.
-//! * [`ClientFleet`] — a simulator that drives one [`OnlineSession`] per
-//!   user of an [`ldp_streams::Population`] across worker threads, for
-//!   scale tests at millions of reports.
+//! * [`ClientFleet`] — a simulator that drives one
+//!   [`ldp_core::online::OnlineSession`] per user of an
+//!   [`ldp_streams::Population`] across worker threads, for
+//!   scale tests at millions of reports. The fleet runs any
+//!   [`ldp_core::PipelineSpec`] cell — every feedback rule
+//!   (direct / IPP / APP / CAPP) over every mechanism
+//!   (SW / SR / PM / Laplace / HM) — with per-worker buffer reuse, so the
+//!   steady-state upload loop allocates nothing per user.
 //!
 //! # Quickstart
 //!
 //! ```
 //! use ldp_collector::{ClientFleet, Collector, CollectorConfig, FleetConfig};
-//! use ldp_core::SessionKind;
+//! use ldp_core::{PipelineSpec, SessionKind};
 //! use ldp_streams::synthetic::taxi_population;
 //!
 //! let population = taxi_population(50, 40, 7);
 //! let collector = Collector::new(CollectorConfig { shards: 4, ..CollectorConfig::default() });
 //! let fleet = ClientFleet::new(FleetConfig {
-//!     kind: SessionKind::Capp,
+//!     spec: PipelineSpec::sw(SessionKind::Capp), // any SessionKind × MechanismKind cell
 //!     epsilon: 2.0,
 //!     w: 10,
 //!     seed: 99,

@@ -1,4 +1,12 @@
 //! The ingestion unit: batches of perturbed per-slot reports.
+//!
+//! [`ReportBatch`] is **columnar** (struct-of-arrays): user ids, slot
+//! indices, and values live in three parallel vectors. Ingest walks the
+//! columns instead of an array of structs, so the shard routing pass
+//! touches only the `users` column and the accumulation pass streams the
+//! `values` column cache-line by cache-line — the layout the collector's
+//! ~15M reports/s hot path is built around. [`SlotReport`] survives as
+//! the row view for element access and iteration.
 
 /// One perturbed report: user `user` published `value` for time slot
 /// `slot`. The value is already private — the collector never sees ground
@@ -16,9 +24,17 @@ pub struct SlotReport {
 /// A batch of reports uploaded together (one RPC / queue message in a real
 /// deployment). Batching is what keeps per-report overhead negligible:
 /// the collector locks each shard once per batch, not once per report.
+///
+/// Non-finite values (NaN / ±∞) are rejected at [`push`](Self::push) time
+/// and counted in [`rejected_non_finite`](Self::rejected_non_finite) — a
+/// single NaN folded into a shard accumulator would poison every mean it
+/// ever contributes to, so it must never enter the columns.
 #[derive(Debug, Clone, Default)]
 pub struct ReportBatch {
-    reports: Vec<SlotReport>,
+    users: Vec<u64>,
+    slots: Vec<u64>,
+    values: Vec<f64>,
+    rejected: u64,
 }
 
 impl ReportBatch {
@@ -32,51 +48,154 @@ impl ReportBatch {
     #[must_use]
     pub fn with_capacity(capacity: usize) -> Self {
         Self {
-            reports: Vec::with_capacity(capacity),
+            users: Vec::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            values: Vec::with_capacity(capacity),
+            rejected: 0,
         }
     }
 
-    /// Appends one report.
-    pub fn push(&mut self, user: u64, slot: u64, value: f64) {
-        self.reports.push(SlotReport { user, slot, value });
+    /// Appends one report. Returns `false` (and counts the rejection)
+    /// instead of accepting a non-finite value.
+    pub fn push(&mut self, user: u64, slot: u64, value: f64) -> bool {
+        if !value.is_finite() {
+            self.rejected += 1;
+            return false;
+        }
+        self.users.push(user);
+        self.slots.push(slot);
+        self.values.push(value);
+        true
     }
 
-    /// Wraps a user's contiguous published subsequence starting at
+    /// Appends a user's contiguous published subsequence starting at
     /// `start_slot` (the common upload shape for an
-    /// [`ldp_core::online::OnlineSession`]).
+    /// [`ldp_core::online::OnlineSession`]). Returns the number of
+    /// reports accepted.
+    pub fn push_stream(&mut self, user: u64, start_slot: u64, values: &[f64]) -> usize {
+        self.reserve(values.len());
+        let mut accepted = 0;
+        for (i, &value) in values.iter().enumerate() {
+            if self.push(user, start_slot + i as u64, value) {
+                accepted += 1;
+            }
+        }
+        accepted
+    }
+
+    /// Wraps a user's contiguous published subsequence into a fresh batch
+    /// (see [`Self::push_stream`]).
     #[must_use]
     pub fn from_stream(user: u64, start_slot: u64, values: &[f64]) -> Self {
         let mut batch = Self::with_capacity(values.len());
-        for (i, &value) in values.iter().enumerate() {
-            batch.push(user, start_slot + i as u64, value);
-        }
+        batch.push_stream(user, start_slot, values);
         batch
+    }
+
+    /// Builds a batch directly from parallel columns — the zero-copy
+    /// wire-deserialization path. Values are *not* screened here (the
+    /// columns may come straight off an untrusted upload);
+    /// [`crate::Collector::ingest`] re-screens non-finite values, so a
+    /// malicious or buggy client still cannot poison shard accumulators.
+    ///
+    /// # Panics
+    /// Panics if the columns disagree in length.
+    #[must_use]
+    pub fn from_columns(users: Vec<u64>, slots: Vec<u64>, values: Vec<f64>) -> Self {
+        assert!(
+            users.len() == slots.len() && slots.len() == values.len(),
+            "from_columns: column lengths disagree ({}/{}/{})",
+            users.len(),
+            slots.len(),
+            values.len()
+        );
+        Self {
+            users,
+            slots,
+            values,
+            rejected: 0,
+        }
+    }
+
+    /// Reserves room for `additional` more reports.
+    pub fn reserve(&mut self, additional: usize) {
+        self.users.reserve(additional);
+        self.slots.reserve(additional);
+        self.values.reserve(additional);
+    }
+
+    /// Empties the batch (keeping its capacity — the buffer-reuse path of
+    /// the fleet drivers) and resets the rejection counter.
+    pub fn clear(&mut self) {
+        self.users.clear();
+        self.slots.clear();
+        self.values.clear();
+        self.rejected = 0;
     }
 
     /// Number of reports in the batch.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.reports.len()
+        self.users.len()
     }
 
     /// Whether the batch holds no reports.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.reports.is_empty()
+        self.users.is_empty()
     }
 
-    /// Borrows the reports.
+    /// How many pushes were rejected for carrying a non-finite value.
     #[must_use]
-    pub fn reports(&self) -> &[SlotReport] {
-        &self.reports
+    pub fn rejected_non_finite(&self) -> u64 {
+        self.rejected
+    }
+
+    /// The user-id column.
+    #[must_use]
+    pub fn users(&self) -> &[u64] {
+        &self.users
+    }
+
+    /// The slot-index column.
+    #[must_use]
+    pub fn slots(&self) -> &[u64] {
+        &self.slots
+    }
+
+    /// The value column.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Row view of report `i`, or `None` past the end.
+    #[must_use]
+    pub fn get(&self, i: usize) -> Option<SlotReport> {
+        Some(SlotReport {
+            user: *self.users.get(i)?,
+            slot: self.slots[i],
+            value: self.values[i],
+        })
+    }
+
+    /// Iterates the batch as rows.
+    pub fn iter(&self) -> impl Iterator<Item = SlotReport> + '_ {
+        self.users
+            .iter()
+            .zip(&self.slots)
+            .zip(&self.values)
+            .map(|((&user, &slot), &value)| SlotReport { user, slot, value })
     }
 }
 
 impl FromIterator<SlotReport> for ReportBatch {
     fn from_iter<T: IntoIterator<Item = SlotReport>>(iter: T) -> Self {
-        Self {
-            reports: iter.into_iter().collect(),
+        let mut batch = Self::new();
+        for r in iter {
+            batch.push(r.user, r.slot, r.value);
         }
+        batch
     }
 }
 
@@ -89,7 +208,7 @@ mod tests {
         let b = ReportBatch::from_stream(7, 100, &[0.1, 0.2, 0.3]);
         assert_eq!(b.len(), 3);
         assert_eq!(
-            b.reports()[0],
+            b.get(0).unwrap(),
             SlotReport {
                 user: 7,
                 slot: 100,
@@ -97,21 +216,57 @@ mod tests {
             }
         );
         assert_eq!(
-            b.reports()[2],
+            b.get(2).unwrap(),
             SlotReport {
                 user: 7,
                 slot: 102,
                 value: 0.3
             }
         );
+        assert_eq!(b.get(3), None);
     }
 
     #[test]
     fn push_and_collect() {
         let mut b = ReportBatch::new();
         assert!(b.is_empty());
-        b.push(1, 0, 0.5);
-        let c: ReportBatch = b.reports().iter().copied().collect();
+        assert!(b.push(1, 0, 0.5));
+        let c: ReportBatch = b.iter().collect();
         assert_eq!(c.len(), 1);
+        assert_eq!(c.users(), &[1]);
+        assert_eq!(c.slots(), &[0]);
+        assert_eq!(c.values(), &[0.5]);
+    }
+
+    #[test]
+    fn non_finite_values_are_rejected_and_counted() {
+        let mut b = ReportBatch::new();
+        assert!(!b.push(1, 0, f64::NAN));
+        assert!(!b.push(1, 1, f64::INFINITY));
+        assert!(!b.push(1, 2, f64::NEG_INFINITY));
+        assert!(b.push(1, 3, 0.25));
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.rejected_non_finite(), 3);
+        assert!(b.values().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn push_stream_skips_non_finite_slots_only() {
+        let mut b = ReportBatch::new();
+        let accepted = b.push_stream(9, 10, &[0.1, f64::NAN, 0.3]);
+        assert_eq!(accepted, 2);
+        assert_eq!(b.slots(), &[10, 12], "finite slots keep their indices");
+        assert_eq!(b.rejected_non_finite(), 1);
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_resets_rejections() {
+        let mut b = ReportBatch::with_capacity(8);
+        b.push(1, 0, 0.5);
+        b.push(2, 1, f64::NAN);
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.rejected_non_finite(), 0);
+        assert!(b.users.capacity() >= 8);
     }
 }

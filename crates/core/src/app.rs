@@ -8,44 +8,61 @@
 //! which is what makes APP strong for subsequence mean estimation
 //! (Lemma IV.2).
 
+use crate::backend::UnitBackend;
 use crate::publisher::StreamMechanism;
 use crate::smoothing::sma;
 use crate::Result;
-use ldp_mechanisms::{Domain, Mechanism, SquareWave};
+use ldp_mechanisms::{AnyMechanism, Domain, MechanismKind};
 use rand::RngCore;
 
 /// Default SMA window used in the paper's experiments.
 pub const DEFAULT_SMOOTHING: usize = 3;
 
-/// The APP algorithm over the Square Wave mechanism.
+/// The APP algorithm over any LDP mechanism (SW by default).
 #[derive(Debug, Clone, Copy)]
 pub struct App {
-    sw: SquareWave,
+    backend: UnitBackend,
     slot_epsilon: f64,
     smoothing: usize,
 }
 
 impl App {
-    /// Creates APP with total window budget `epsilon` and window size `w`
-    /// (per-slot budget `ε/w`; Theorem 3) and the paper's default smoothing
-    /// window of 3.
+    /// Creates APP over SW with total window budget `epsilon` and window
+    /// size `w` (per-slot budget `ε/w`; Theorem 3) and the paper's default
+    /// smoothing window of 3.
     ///
     /// # Errors
     /// Returns an error if `epsilon` is invalid or `w == 0`.
     pub fn new(epsilon: f64, w: usize) -> Result<Self> {
+        Self::of_mechanism(MechanismKind::SquareWave, epsilon, w)
+    }
+
+    /// Creates APP over an arbitrary perturbation mechanism.
+    ///
+    /// # Errors
+    /// Returns an error if `epsilon` is invalid or `w == 0`.
+    pub fn of_mechanism(kind: MechanismKind, epsilon: f64, w: usize) -> Result<Self> {
         if w == 0 {
             return Err(ldp_mechanisms::MechanismError::InvalidEpsilon(0.0));
         }
-        Self::with_slot_budget(epsilon / w as f64)
+        Self::with_slot_budget_of(kind, epsilon / w as f64)
     }
 
-    /// Creates APP spending exactly `slot_epsilon` per slot.
+    /// Creates APP over SW spending exactly `slot_epsilon` per slot.
     ///
     /// # Errors
     /// Returns an error for an invalid budget.
     pub fn with_slot_budget(slot_epsilon: f64) -> Result<Self> {
+        Self::with_slot_budget_of(MechanismKind::SquareWave, slot_epsilon)
+    }
+
+    /// Creates APP over `kind` spending exactly `slot_epsilon` per slot.
+    ///
+    /// # Errors
+    /// Returns an error for an invalid budget.
+    pub fn with_slot_budget_of(kind: MechanismKind, slot_epsilon: f64) -> Result<Self> {
         Ok(Self {
-            sw: SquareWave::new(slot_epsilon)?,
+            backend: UnitBackend::new(kind, slot_epsilon)?,
             slot_epsilon,
             smoothing: DEFAULT_SMOOTHING,
         })
@@ -64,25 +81,39 @@ impl App {
         self.slot_epsilon
     }
 
-    /// The underlying SW instance.
+    /// The underlying mechanism instance.
     #[must_use]
-    pub fn mechanism(&self) -> &SquareWave {
-        &self.sw
+    pub fn mechanism(&self) -> &AnyMechanism {
+        self.backend.mechanism()
+    }
+
+    /// The mechanism kind driving this instance.
+    #[must_use]
+    pub fn mechanism_kind(&self) -> MechanismKind {
+        self.backend.kind()
     }
 
     /// Runs the APP collection loop, returning the raw (unsmoothed)
     /// perturbed stream `{x'_i}`.
     #[must_use]
     pub fn publish_raw(&self, xs: &[f64], rng: &mut dyn RngCore) -> Vec<f64> {
+        let mut out = Vec::with_capacity(xs.len());
+        self.publish_raw_into(xs, &mut out, rng);
+        out
+    }
+
+    /// The collection loop of [`Self::publish_raw`], writing into a reused
+    /// buffer (cleared first) instead of allocating.
+    pub fn publish_raw_into(&self, xs: &[f64], out: &mut Vec<f64>, rng: &mut dyn RngCore) {
+        out.clear();
+        out.reserve(xs.len());
         let mut acc_dev = 0.0;
-        xs.iter()
-            .map(|&x| {
-                let input = Domain::UNIT.clip(x + acc_dev);
-                let reported = self.sw.perturb(input, rng);
-                acc_dev += x - reported;
-                reported
-            })
-            .collect()
+        for &x in xs {
+            let input = Domain::UNIT.clip(x + acc_dev);
+            let reported = self.backend.report_unit(input, rng);
+            acc_dev += x - reported;
+            out.push(reported);
+        }
     }
 }
 
@@ -194,5 +225,40 @@ mod tests {
     fn empty_stream_publishes_empty() {
         let app = App::new(1.0, 5).unwrap();
         assert!(app.publish(&[], &mut rng(6)).is_empty());
+    }
+
+    #[test]
+    fn default_backend_is_square_wave() {
+        let app = App::new(1.0, 5).unwrap();
+        assert_eq!(
+            app.mechanism_kind(),
+            ldp_mechanisms::MechanismKind::SquareWave
+        );
+    }
+
+    #[test]
+    fn generic_backends_telescope_too() {
+        // The telescoping argument is mechanism-free: for every backend the
+        // running published sum tracks the running true sum within O(1).
+        use ldp_mechanisms::MechanismKind;
+        let xs: Vec<f64> = (0..300)
+            .map(|i| 0.5 + 0.3 * (i as f64 / 8.0).sin())
+            .collect();
+        let sum_x: f64 = xs.iter().sum();
+        for kind in [MechanismKind::StochasticRounding, MechanismKind::Laplace] {
+            let app = App::of_mechanism(kind, 4.0, 10).unwrap();
+            let out = app.publish_raw(&xs, &mut rng(7));
+            let drift = (sum_x - out.iter().sum::<f64>()).abs();
+            assert!(drift < 40.0, "{}: drift {drift}", kind.label());
+        }
+    }
+
+    #[test]
+    fn publish_raw_into_reuses_buffer() {
+        let app = App::new(1.0, 5).unwrap();
+        let xs = [0.4; 12];
+        let mut buf = vec![9.0; 3];
+        app.publish_raw_into(&xs, &mut buf, &mut rng(8));
+        assert_eq!(buf, app.publish_raw(&xs, &mut rng(8)));
     }
 }

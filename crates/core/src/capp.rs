@@ -18,10 +18,11 @@
 //! Theorem 4: clipping and normalization are deterministic pre-processing,
 //! so CAPP keeps the same w-event guarantee as APP.
 
+use crate::backend::UnitBackend;
 use crate::publisher::StreamMechanism;
 use crate::smoothing::sma;
 use crate::Result;
-use ldp_mechanisms::{Domain, Mechanism, MechanismError, SquareWave};
+use ldp_mechanisms::{AnyMechanism, Domain, Mechanism, MechanismError, MechanismKind, SquareWave};
 use rand::RngCore;
 
 /// Clip margin is clamped so the clip range never collapses: `l < u`
@@ -67,6 +68,29 @@ impl ClipBounds {
         Self::from_margin(t)
     }
 
+    /// The recommended bounds for an arbitrary backend mechanism. SW takes
+    /// the paper's closed-form route above (bit-identical to
+    /// [`Self::recommended`]). For the unbiased mechanisms the unit-scale
+    /// worst-case expectation is exact (`E[report] = 1`), so the
+    /// sensitivity error vanishes and `T = e_s − e_d ≤ 0`; the margin is
+    /// floored at 0 (never narrower than `[0, 1]`) because with
+    /// unbounded-noise backends a sub-unit clip range lets inputs sit
+    /// permanently outside it and the accumulated deviation diverge — at
+    /// margin 0 CAPP gracefully reduces to APP, which is the right
+    /// degenerate behaviour when the clip optimization has nothing to buy.
+    ///
+    /// # Errors
+    /// Returns an error for an invalid budget.
+    pub fn recommended_for(kind: MechanismKind, slot_epsilon: f64) -> Result<Self> {
+        if kind == MechanismKind::SquareWave {
+            return Self::recommended(slot_epsilon);
+        }
+        let backend = UnitBackend::new(kind, slot_epsilon)?;
+        let e_s = (1.0 - backend.expected_unit_report(1.0)).exp() - 1.0;
+        let e_d = backend.unit_report_variance(1.0).sqrt();
+        Self::from_margin((e_s - e_d).clamp(0.0, MAX_MARGIN))
+    }
+
     /// Sensitivity error `e_s = e^{1 − E[SW(1)]} − 1`.
     #[must_use]
     pub fn sensitivity_error(sw: &SquareWave) -> f64 {
@@ -108,38 +132,55 @@ impl ClipBounds {
     }
 }
 
-/// The CAPP algorithm over the Square Wave mechanism.
+/// The CAPP algorithm over any LDP mechanism (SW by default).
 #[derive(Debug, Clone, Copy)]
 pub struct Capp {
-    sw: SquareWave,
+    backend: UnitBackend,
     slot_epsilon: f64,
     bounds: ClipBounds,
     smoothing: usize,
 }
 
 impl Capp {
-    /// Creates CAPP with total window budget `epsilon`, window size `w`,
-    /// the recommended clip bounds for `ε/w`, and the paper's default SMA
-    /// window of 3.
+    /// Creates CAPP over SW with total window budget `epsilon`, window
+    /// size `w`, the recommended clip bounds for `ε/w`, and the paper's
+    /// default SMA window of 3.
     ///
     /// # Errors
     /// Returns an error if `epsilon` is invalid or `w == 0`.
     pub fn new(epsilon: f64, w: usize) -> Result<Self> {
+        Self::of_mechanism(MechanismKind::SquareWave, epsilon, w)
+    }
+
+    /// Creates CAPP over an arbitrary perturbation mechanism, with the
+    /// bounds [`ClipBounds::recommended_for`] that mechanism.
+    ///
+    /// # Errors
+    /// Returns an error if `epsilon` is invalid or `w == 0`.
+    pub fn of_mechanism(kind: MechanismKind, epsilon: f64, w: usize) -> Result<Self> {
         if w == 0 {
             return Err(MechanismError::InvalidEpsilon(0.0));
         }
-        Self::with_slot_budget(epsilon / w as f64)
+        Self::with_slot_budget_of(kind, epsilon / w as f64)
     }
 
-    /// Creates CAPP spending exactly `slot_epsilon` per slot with the
-    /// recommended clip bounds.
+    /// Creates CAPP over SW spending exactly `slot_epsilon` per slot with
+    /// the recommended clip bounds.
     ///
     /// # Errors
     /// Returns an error for an invalid budget.
     pub fn with_slot_budget(slot_epsilon: f64) -> Result<Self> {
-        let bounds = ClipBounds::recommended(slot_epsilon)?;
+        Self::with_slot_budget_of(MechanismKind::SquareWave, slot_epsilon)
+    }
+
+    /// Creates CAPP over `kind` spending exactly `slot_epsilon` per slot.
+    ///
+    /// # Errors
+    /// Returns an error for an invalid budget.
+    pub fn with_slot_budget_of(kind: MechanismKind, slot_epsilon: f64) -> Result<Self> {
+        let bounds = ClipBounds::recommended_for(kind, slot_epsilon)?;
         Ok(Self {
-            sw: SquareWave::new(slot_epsilon)?,
+            backend: UnitBackend::new(kind, slot_epsilon)?,
             slot_epsilon,
             bounds,
             smoothing: crate::app::DEFAULT_SMOOTHING,
@@ -172,21 +213,41 @@ impl Capp {
         self.bounds
     }
 
+    /// The underlying mechanism instance.
+    #[must_use]
+    pub fn mechanism(&self) -> &AnyMechanism {
+        self.backend.mechanism()
+    }
+
+    /// The mechanism kind driving this instance.
+    #[must_use]
+    pub fn mechanism_kind(&self) -> MechanismKind {
+        self.backend.kind()
+    }
+
     /// Runs the CAPP collection loop without the SMA post-processing.
     #[must_use]
     pub fn publish_raw(&self, xs: &[f64], rng: &mut dyn RngCore) -> Vec<f64> {
+        let mut out = Vec::with_capacity(xs.len());
+        self.publish_raw_into(xs, &mut out, rng);
+        out
+    }
+
+    /// The collection loop of [`Self::publish_raw`], writing into a reused
+    /// buffer (cleared first) instead of allocating.
+    pub fn publish_raw_into(&self, xs: &[f64], out: &mut Vec<f64>, rng: &mut dyn RngCore) {
+        out.clear();
+        out.reserve(xs.len());
         let dom = self.bounds.domain();
         let mut acc_dev = 0.0;
-        xs.iter()
-            .map(|&x| {
-                let clipped = dom.clip(x + acc_dev);
-                let normalized = dom.normalize(clipped);
-                let perturbed = self.sw.perturb(normalized, rng);
-                let reported = dom.denormalize(perturbed);
-                acc_dev += x - reported;
-                reported
-            })
-            .collect()
+        for &x in xs {
+            let clipped = dom.clip(x + acc_dev);
+            let normalized = dom.normalize(clipped);
+            let perturbed = self.backend.report_unit(normalized, rng);
+            let reported = dom.denormalize(perturbed);
+            acc_dev += x - reported;
+            out.push(reported);
+        }
     }
 }
 
@@ -328,5 +389,38 @@ mod tests {
     #[test]
     fn zero_window_rejected() {
         assert!(Capp::new(1.0, 0).is_err());
+    }
+
+    #[test]
+    fn generic_backend_margins_never_go_negative() {
+        for kind in MechanismKind::ALL {
+            if kind == MechanismKind::SquareWave {
+                continue;
+            }
+            for &eps in &[0.05, 0.5, 2.0] {
+                let b = ClipBounds::recommended_for(kind, eps).unwrap();
+                assert!(
+                    b.margin() >= 0.0,
+                    "{}: ε={eps} margin {}",
+                    kind.label(),
+                    b.margin()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generic_backends_publish_and_telescope() {
+        let xs: Vec<f64> = (0..250)
+            .map(|i| 0.5 + 0.4 * (i as f64 / 9.0).cos())
+            .collect();
+        for kind in [MechanismKind::StochasticRounding, MechanismKind::Hybrid] {
+            let capp = Capp::of_mechanism(kind, 4.0, 10).unwrap();
+            let out = capp.publish_raw(&xs, &mut rng(9));
+            assert_eq!(out.len(), xs.len());
+            assert!(out.iter().all(|y| y.is_finite()));
+            let drift = (xs.iter().sum::<f64>() - out.iter().sum::<f64>()).abs();
+            assert!(drift < 60.0, "{}: drift {drift}", kind.label());
+        }
     }
 }

@@ -34,7 +34,15 @@ impl<M: Mechanism> DirectMechanismStream<M> {
 
 impl<M: Mechanism> StreamMechanism for DirectMechanismStream<M> {
     fn publish(&self, xs: &[f64], rng: &mut dyn RngCore) -> Vec<f64> {
-        xs.iter().map(|&x| self.mech.perturb(x, rng)).collect()
+        self.mech.perturb_slice(xs, rng)
+    }
+
+    /// Allocation-free override routed through the mechanism's batch
+    /// primitive [`Mechanism::perturb_into`].
+    fn publish_into(&self, xs: &[f64], out: &mut Vec<f64>, rng: &mut dyn RngCore) {
+        out.clear();
+        out.resize(xs.len(), 0.0);
+        self.mech.perturb_into(xs, out, rng);
     }
 
     fn name(&self) -> &'static str {

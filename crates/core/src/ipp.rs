@@ -5,38 +5,56 @@
 //! deviation of the *previous* report. Lemma III.1 shows this always
 //! achieves lower mean deviation than perturbing `x_t` directly.
 
+use crate::backend::UnitBackend;
 use crate::publisher::StreamMechanism;
 use crate::Result;
-use ldp_mechanisms::{Domain, Mechanism, SquareWave};
+use ldp_mechanisms::{AnyMechanism, Domain, MechanismKind};
 use rand::RngCore;
 
-/// The IPP algorithm over the Square Wave mechanism.
+/// The IPP algorithm over any LDP mechanism (SW by default).
 #[derive(Debug, Clone, Copy)]
 pub struct Ipp {
-    sw: SquareWave,
+    backend: UnitBackend,
     slot_epsilon: f64,
 }
 
 impl Ipp {
-    /// Creates IPP with total window budget `epsilon` and window size `w`;
-    /// each slot is perturbed with `ε/w` (w-event accounting, Theorem 3).
+    /// Creates IPP over SW with total window budget `epsilon` and window
+    /// size `w`; each slot is perturbed with `ε/w` (w-event accounting,
+    /// Theorem 3).
     ///
     /// # Errors
     /// Returns an error if `epsilon` is invalid or `w == 0`.
     pub fn new(epsilon: f64, w: usize) -> Result<Self> {
+        Self::of_mechanism(MechanismKind::SquareWave, epsilon, w)
+    }
+
+    /// Creates IPP over an arbitrary perturbation mechanism.
+    ///
+    /// # Errors
+    /// Returns an error if `epsilon` is invalid or `w == 0`.
+    pub fn of_mechanism(kind: MechanismKind, epsilon: f64, w: usize) -> Result<Self> {
         if w == 0 {
             return Err(ldp_mechanisms::MechanismError::InvalidEpsilon(0.0));
         }
-        Self::with_slot_budget(epsilon / w as f64)
+        Self::with_slot_budget_of(kind, epsilon / w as f64)
     }
 
-    /// Creates IPP spending exactly `slot_epsilon` on every slot.
+    /// Creates IPP over SW spending exactly `slot_epsilon` on every slot.
     ///
     /// # Errors
     /// Returns an error for an invalid budget.
     pub fn with_slot_budget(slot_epsilon: f64) -> Result<Self> {
+        Self::with_slot_budget_of(MechanismKind::SquareWave, slot_epsilon)
+    }
+
+    /// Creates IPP over `kind` spending exactly `slot_epsilon` per slot.
+    ///
+    /// # Errors
+    /// Returns an error for an invalid budget.
+    pub fn with_slot_budget_of(kind: MechanismKind, slot_epsilon: f64) -> Result<Self> {
         Ok(Self {
-            sw: SquareWave::new(slot_epsilon)?,
+            backend: UnitBackend::new(kind, slot_epsilon)?,
             slot_epsilon,
         })
     }
@@ -47,24 +65,38 @@ impl Ipp {
         self.slot_epsilon
     }
 
-    /// The underlying SW instance.
+    /// The underlying mechanism instance.
     #[must_use]
-    pub fn mechanism(&self) -> &SquareWave {
-        &self.sw
+    pub fn mechanism(&self) -> &AnyMechanism {
+        self.backend.mechanism()
+    }
+
+    /// The mechanism kind driving this instance.
+    #[must_use]
+    pub fn mechanism_kind(&self) -> MechanismKind {
+        self.backend.kind()
     }
 }
 
 impl StreamMechanism for Ipp {
     fn publish(&self, xs: &[f64], rng: &mut dyn RngCore) -> Vec<f64> {
+        let mut out = Vec::with_capacity(xs.len());
+        self.publish_into(xs, &mut out, rng);
+        out
+    }
+
+    /// Allocation-free override: IPP has no post-processing, so the loop
+    /// writes straight into the reused buffer.
+    fn publish_into(&self, xs: &[f64], out: &mut Vec<f64>, rng: &mut dyn RngCore) {
+        out.clear();
+        out.reserve(xs.len());
         let mut prev_dev = 0.0;
-        xs.iter()
-            .map(|&x| {
-                let input = Domain::UNIT.clip(x + prev_dev);
-                let reported = self.sw.perturb(input, rng);
-                prev_dev = x - reported;
-                reported
-            })
-            .collect()
+        for &x in xs {
+            let input = Domain::UNIT.clip(x + prev_dev);
+            let reported = self.backend.report_unit(input, rng);
+            prev_dev = x - reported;
+            out.push(reported);
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -75,6 +107,7 @@ impl StreamMechanism for Ipp {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ldp_mechanisms::{Mechanism, SquareWave};
     use rand::SeedableRng;
 
     fn rng(seed: u64) -> rand::rngs::StdRng {

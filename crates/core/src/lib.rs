@@ -20,10 +20,28 @@
 //! * [`Sampling`] — PP-S: perturbs per-segment means with an optimized
 //!   segment count for better subsequence mean estimation.
 //! * [`GenericApp`] — the APP feedback loop over any
-//!   [`ldp_mechanisms::Mechanism`] (Laplace / SR / PM / HM).
+//!   [`ldp_mechanisms::Mechanism`] on its *native* input domain (the
+//!   Figure 9 evaluation shape).
 //! * [`highdim`] — Budget-Split and Sample-Split strategies for
 //!   d-dimensional series.
 //! * [`crowd`] — crowd-level statistics over user populations.
+//!
+//! # Mechanism-generic pipelines
+//!
+//! Every feedback algorithm above runs over an interchangeable
+//! perturbation backend: [`App`], [`Capp`], [`Ipp`], and
+//! [`OnlineSession`] accept any [`ldp_mechanisms::MechanismKind`]
+//! (`of_mechanism` / [`OnlineSession::of_spec`]), defaulting to SW. The
+//! [`backend::UnitBackend`] adapter translates between the unit-scale
+//! stream and each mechanism's native domain, and routes debiasing:
+//! unbiased mechanisms (SR / PM / Laplace / HM) take the **direct path**
+//! (reports inverted through the affine `Mechanism::expected_output`
+//! map, identity for them), while the biased SW keeps its **estimator
+//! path** (raw reports; the feedback loop telescopes the bias away and
+//! [`ldp_mechanisms::sw_estimate`] reconstructs distributions
+//! downstream). A `(SessionKind, MechanismKind)` pair is a
+//! [`PipelineSpec`]; [`PipelineSpec::grid`] enumerates all cells for the
+//! collector fleet, the experiment grid, and the `pipeline_grid` bench.
 //!
 //! Every algorithm spends `ε/w` per time slot (or the sampling equivalent),
 //! so any sliding window of `w` slots is covered by total budget `ε`
@@ -45,6 +63,7 @@
 
 pub mod accountant;
 pub mod app;
+pub mod backend;
 pub mod capp;
 pub mod crowd;
 pub mod generic;
@@ -57,13 +76,14 @@ pub mod smoothing;
 
 pub use accountant::WEventAccountant;
 pub use app::App;
+pub use backend::UnitBackend;
 pub use capp::{Capp, ClipBounds};
 pub use generic::{DirectMechanismStream, GenericApp};
 pub use ipp::Ipp;
-pub use online::{OnlineSession, SessionKind};
+pub use online::{OnlineSession, PipelineSpec, SessionKind};
 pub use publisher::StreamMechanism;
 pub use sampling::{optimal_sample_count, PpKind, Sampling};
-pub use smoothing::sma;
+pub use smoothing::{sma, sma_into};
 
 /// Errors raised by algorithm constructors.
 pub type Error = ldp_mechanisms::MechanismError;

@@ -22,29 +22,20 @@
 //! `ε/w`, so any window of `w` totals ε).
 
 use crate::accountant::WEventAccountant;
+use crate::backend::UnitBackend;
 use crate::capp::ClipBounds;
 use crate::Result;
-use ldp_mechanisms::{Domain, Mechanism, MechanismError, SquareWave};
+use ldp_mechanisms::{Domain, MechanismError, MechanismKind};
 use rand::RngCore;
+use std::fmt;
+use std::str::FromStr;
 
-/// Which feedback rule the session applies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Feedback {
-    /// No feedback (SW-direct).
-    None,
-    /// Previous deviation only (IPP).
-    Last,
-    /// Accumulated deviation, clipped to `[0,1]` (APP).
-    Accumulated,
-    /// Accumulated deviation with a tuned clip range (CAPP).
-    Clipped,
-}
-
-/// The publicly selectable session flavors (used by the collector fleet
+/// The publicly selectable feedback rules (used by the collector fleet
 /// and anything else that needs to construct sessions dynamically).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SessionKind {
-    /// No feedback (SW-direct baseline).
+    /// No feedback (mechanism-direct baseline; historically "SW-direct"
+    /// because SW is the default backend).
     SwDirect,
     /// Last-deviation feedback.
     Ipp,
@@ -55,11 +46,19 @@ pub enum SessionKind {
 }
 
 impl SessionKind {
+    /// Every kind, in display order.
+    pub const ALL: [SessionKind; 4] = [
+        SessionKind::SwDirect,
+        SessionKind::Ipp,
+        SessionKind::App,
+        SessionKind::Capp,
+    ];
+
     /// Short label for reports and benchmarks.
     #[must_use]
     pub fn label(self) -> &'static str {
         match self {
-            SessionKind::SwDirect => "sw-direct",
+            SessionKind::SwDirect => "direct",
             SessionKind::Ipp => "ipp",
             SessionKind::App => "app",
             SessionKind::Capp => "capp",
@@ -67,37 +66,124 @@ impl SessionKind {
     }
 }
 
+impl fmt::Display for SessionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for SessionKind {
+    type Err = MechanismError;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "direct" | "sw-direct" => Ok(SessionKind::SwDirect),
+            "ipp" => Ok(SessionKind::Ipp),
+            "app" => Ok(SessionKind::App),
+            "capp" => Ok(SessionKind::Capp),
+            other => Err(MechanismError::UnknownLabel {
+                expected: "session kind (direct, ipp, app, capp)",
+                got: other.to_owned(),
+            }),
+        }
+    }
+}
+
+/// A full client pipeline configuration: which feedback rule runs over
+/// which perturbation primitive. This is the unit the collector fleet,
+/// the experiment grid, and the benches are parameterized by — any
+/// [`SessionKind`] composes with any [`MechanismKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PipelineSpec {
+    /// The feedback rule.
+    pub session: SessionKind,
+    /// The perturbation primitive it drives.
+    pub mechanism: MechanismKind,
+}
+
+impl PipelineSpec {
+    /// Pairs a feedback rule with a mechanism.
+    #[must_use]
+    pub const fn new(session: SessionKind, mechanism: MechanismKind) -> Self {
+        Self { session, mechanism }
+    }
+
+    /// The SW-backed pipeline for a feedback rule — the paper's default.
+    #[must_use]
+    pub const fn sw(session: SessionKind) -> Self {
+        Self::new(session, MechanismKind::SquareWave)
+    }
+
+    /// Label of the form `capp+sw`, stable for reports and benches
+    /// (delegates to [`fmt::Display`] so the two can never diverge).
+    #[must_use]
+    pub fn label(self) -> String {
+        self.to_string()
+    }
+
+    /// The full SessionKind × MechanismKind grid, sessions-major.
+    #[must_use]
+    pub fn grid() -> Vec<PipelineSpec> {
+        let mut cells = Vec::with_capacity(SessionKind::ALL.len() * MechanismKind::ALL.len());
+        for session in SessionKind::ALL {
+            for mechanism in MechanismKind::ALL {
+                cells.push(PipelineSpec::new(session, mechanism));
+            }
+        }
+        cells
+    }
+}
+
+impl fmt::Display for PipelineSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}+{}", self.session, self.mechanism)
+    }
+}
+
+impl FromStr for PipelineSpec {
+    type Err = MechanismError;
+
+    /// Parses `"<session>+<mechanism>"` (e.g. `capp+sw`, `app+laplace`);
+    /// a bare session name defaults the mechanism to SW.
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s.split_once('+') {
+            Some((session, mechanism)) => Ok(Self::new(session.parse()?, mechanism.parse()?)),
+            None => Ok(Self::sw(s.parse()?)),
+        }
+    }
+}
+
 /// A stateful, slot-at-a-time publication session.
 #[derive(Debug, Clone)]
 pub struct OnlineSession {
-    sw: SquareWave,
-    feedback: Feedback,
+    backend: UnitBackend,
+    kind: SessionKind,
     bounds: ClipBounds,
     deviation: f64,
     accountant: WEventAccountant,
 }
 
 impl OnlineSession {
-    fn new(epsilon: f64, w: usize, feedback: Feedback) -> Result<Self> {
+    fn new(epsilon: f64, w: usize, kind: SessionKind, mechanism: MechanismKind) -> Result<Self> {
         if w == 0 || !(epsilon.is_finite() && epsilon > 0.0) {
             return Err(MechanismError::InvalidEpsilon(epsilon));
         }
         let slot = epsilon / w as f64;
         Ok(Self {
-            sw: SquareWave::new(slot)?,
-            feedback,
-            bounds: ClipBounds::recommended(slot)?,
+            backend: UnitBackend::new(mechanism, slot)?,
+            kind,
+            bounds: ClipBounds::recommended_for(mechanism, slot)?,
             deviation: 0.0,
             accountant: WEventAccountant::new(w, epsilon),
         })
     }
 
-    /// SW-direct session (no feedback) — baseline behaviour.
+    /// Mechanism-direct session (no feedback) — baseline behaviour.
     ///
     /// # Errors
     /// Returns an error for invalid `(epsilon, w)`.
     pub fn sw_direct(epsilon: f64, w: usize) -> Result<Self> {
-        Self::new(epsilon, w, Feedback::None)
+        Self::of_kind(SessionKind::SwDirect, epsilon, w)
     }
 
     /// IPP session (last-deviation feedback).
@@ -105,7 +191,7 @@ impl OnlineSession {
     /// # Errors
     /// Returns an error for invalid `(epsilon, w)`.
     pub fn ipp(epsilon: f64, w: usize) -> Result<Self> {
-        Self::new(epsilon, w, Feedback::Last)
+        Self::of_kind(SessionKind::Ipp, epsilon, w)
     }
 
     /// APP session (accumulated-deviation feedback).
@@ -113,7 +199,7 @@ impl OnlineSession {
     /// # Errors
     /// Returns an error for invalid `(epsilon, w)`.
     pub fn app(epsilon: f64, w: usize) -> Result<Self> {
-        Self::new(epsilon, w, Feedback::Accumulated)
+        Self::of_kind(SessionKind::App, epsilon, w)
     }
 
     /// CAPP session (accumulated feedback with the recommended clip range).
@@ -121,20 +207,29 @@ impl OnlineSession {
     /// # Errors
     /// Returns an error for invalid `(epsilon, w)`.
     pub fn capp(epsilon: f64, w: usize) -> Result<Self> {
-        Self::new(epsilon, w, Feedback::Clipped)
+        Self::of_kind(SessionKind::Capp, epsilon, w)
     }
 
-    /// Builds a session of the given [`SessionKind`].
+    /// Builds an SW-backed session of the given [`SessionKind`].
     ///
     /// # Errors
     /// Returns an error for invalid `(epsilon, w)`.
     pub fn of_kind(kind: SessionKind, epsilon: f64, w: usize) -> Result<Self> {
-        match kind {
-            SessionKind::SwDirect => Self::sw_direct(epsilon, w),
-            SessionKind::Ipp => Self::ipp(epsilon, w),
-            SessionKind::App => Self::app(epsilon, w),
-            SessionKind::Capp => Self::capp(epsilon, w),
-        }
+        Self::new(epsilon, w, kind, MechanismKind::SquareWave)
+    }
+
+    /// Builds a session for an arbitrary [`PipelineSpec`] cell.
+    ///
+    /// # Errors
+    /// Returns an error for invalid `(epsilon, w)`.
+    pub fn of_spec(spec: PipelineSpec, epsilon: f64, w: usize) -> Result<Self> {
+        Self::new(epsilon, w, spec.session, spec.mechanism)
+    }
+
+    /// The pipeline cell this session runs.
+    #[must_use]
+    pub fn spec(&self) -> PipelineSpec {
+        PipelineSpec::new(self.kind, self.backend.kind())
     }
 
     /// Window size `w` of the w-event guarantee.
@@ -152,7 +247,7 @@ impl OnlineSession {
     /// Per-slot privacy budget.
     #[must_use]
     pub fn slot_epsilon(&self) -> f64 {
-        self.sw.epsilon()
+        self.backend.epsilon()
     }
 
     /// Number of slots reported so far.
@@ -174,23 +269,25 @@ impl OnlineSession {
     }
 
     /// Perturbs and reports one value, updating the feedback state and the
-    /// budget ledger.
+    /// budget ledger. Allocation-free — this is the per-report hot path of
+    /// the client→collector pipeline.
     pub fn report(&mut self, x: f64, rng: &mut dyn RngCore) -> f64 {
-        let reported = match self.feedback {
-            Feedback::None => self.sw.perturb(x, rng),
-            Feedback::Last | Feedback::Accumulated => {
+        let reported = match self.kind {
+            SessionKind::SwDirect => self.backend.report_unit(x, rng),
+            SessionKind::Ipp | SessionKind::App => {
                 let input = Domain::UNIT.clip(x + self.deviation);
-                let y = self.sw.perturb(input, rng);
-                match self.feedback {
-                    Feedback::Last => self.deviation = x - y,
-                    _ => self.deviation += x - y,
+                let y = self.backend.report_unit(input, rng);
+                if self.kind == SessionKind::Ipp {
+                    self.deviation = x - y;
+                } else {
+                    self.deviation += x - y;
                 }
                 y
             }
-            Feedback::Clipped => {
+            SessionKind::Capp => {
                 let dom = Domain::new(self.bounds.l(), self.bounds.u()).expect("bounds validated");
                 let clipped = dom.clip(x + self.deviation);
-                let y = dom.denormalize(self.sw.perturb(dom.normalize(clipped), rng));
+                let y = dom.denormalize(self.backend.report_unit(dom.normalize(clipped), rng));
                 self.deviation += x - y;
                 y
             }
@@ -201,7 +298,21 @@ impl OnlineSession {
 
     /// Reports a whole batch (convenience around [`Self::report`]).
     pub fn report_all(&mut self, xs: &[f64], rng: &mut dyn RngCore) -> Vec<f64> {
-        xs.iter().map(|&x| self.report(x, rng)).collect()
+        let mut out = Vec::with_capacity(xs.len());
+        self.report_all_into(xs, &mut out, rng);
+        out
+    }
+
+    /// Reports a whole batch into a reused buffer (cleared first) — the
+    /// fleet's upload path, free of per-call heap allocation once the
+    /// buffer has warmed up.
+    pub fn report_all_into(&mut self, xs: &[f64], out: &mut Vec<f64>, rng: &mut dyn RngCore) {
+        out.clear();
+        out.reserve(xs.len());
+        for &x in xs {
+            let y = self.report(x, rng);
+            out.push(y);
+        }
     }
 }
 
@@ -272,6 +383,76 @@ mod tests {
             let _ = s.report(0.7, &mut r);
         }
         assert_eq!(s.pending_deviation(), 0.0);
+    }
+
+    #[test]
+    fn pipeline_spec_grid_covers_every_cell() {
+        use ldp_mechanisms::MechanismKind;
+        let grid = PipelineSpec::grid();
+        assert_eq!(
+            grid.len(),
+            SessionKind::ALL.len() * MechanismKind::ALL.len()
+        );
+        for session in SessionKind::ALL {
+            for mechanism in MechanismKind::ALL {
+                assert!(grid.contains(&PipelineSpec::new(session, mechanism)));
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_spec_labels_roundtrip_through_fromstr() {
+        for spec in PipelineSpec::grid() {
+            assert_eq!(spec.label().parse::<PipelineSpec>().unwrap(), spec);
+        }
+        // Bare session names default to SW.
+        assert_eq!(
+            "capp".parse::<PipelineSpec>().unwrap(),
+            PipelineSpec::sw(SessionKind::Capp)
+        );
+        assert!("capp+nope".parse::<PipelineSpec>().is_err());
+        assert!("nope+sw".parse::<PipelineSpec>().is_err());
+    }
+
+    #[test]
+    fn of_spec_with_sw_matches_of_kind() {
+        // The spec route with the SW default is the of_kind route.
+        let xs: Vec<f64> = (0..40).map(|i| i as f64 / 40.0).collect();
+        for kind in SessionKind::ALL {
+            let mut a = OnlineSession::of_kind(kind, 2.0, 8).unwrap();
+            let mut b = OnlineSession::of_spec(PipelineSpec::sw(kind), 2.0, 8).unwrap();
+            assert_eq!(
+                a.report_all(&xs, &mut rng(11)),
+                b.report_all(&xs, &mut rng(11)),
+                "{}",
+                kind.label()
+            );
+            assert_eq!(b.spec(), PipelineSpec::sw(kind));
+        }
+    }
+
+    #[test]
+    fn every_grid_cell_reports_finite_values() {
+        for spec in PipelineSpec::grid() {
+            let mut session = OnlineSession::of_spec(spec, 2.0, 8).unwrap();
+            let mut r = rng(13);
+            for t in 0..30 {
+                let x = 0.5 + 0.4 * ((t as f64) / 7.0).sin();
+                let y = session.report(x, &mut r);
+                assert!(y.is_finite(), "{}: non-finite report {y}", spec.label());
+            }
+            assert!(session.accountant().satisfies_w_event(), "{}", spec.label());
+        }
+    }
+
+    #[test]
+    fn report_all_into_matches_report_all() {
+        let xs = [0.3; 25];
+        let mut a = OnlineSession::app(1.0, 5).unwrap();
+        let mut b = OnlineSession::app(1.0, 5).unwrap();
+        let mut buf = vec![1.0; 7];
+        a.report_all_into(&xs, &mut buf, &mut rng(14));
+        assert_eq!(buf, b.report_all(&xs, &mut rng(14)));
     }
 
     #[test]

@@ -13,6 +13,17 @@ pub trait StreamMechanism {
     /// Publishes a private version of the stream `xs`.
     fn publish(&self, xs: &[f64], rng: &mut dyn RngCore) -> Vec<f64>;
 
+    /// Publishes into a caller-owned buffer, so trial loops and fleet
+    /// drivers don't allocate a fresh `Vec` per call.
+    ///
+    /// The default moves [`Self::publish`]'s result into `out` (no copy,
+    /// but the old buffer is dropped); algorithms without post-processing
+    /// (IPP, the direct publishers, BA-SW) override it to write straight
+    /// into `out`, genuinely reusing its capacity.
+    fn publish_into(&self, xs: &[f64], out: &mut Vec<f64>, rng: &mut dyn RngCore) {
+        *out = self.publish(xs, rng);
+    }
+
     /// Short algorithm name for reports and benchmarks.
     fn name(&self) -> &'static str;
 
@@ -55,5 +66,13 @@ mod tests {
     fn estimate_mean_of_empty_is_zero() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(0);
         assert_eq!(Identity.estimate_mean(&[], &mut rng), 0.0);
+    }
+
+    #[test]
+    fn publish_into_default_clears_and_fills_the_buffer() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut buf = vec![7.0; 10];
+        Identity.publish_into(&[0.1, 0.2], &mut buf, &mut rng);
+        assert_eq!(buf, vec![0.1, 0.2]);
     }
 }

@@ -13,17 +13,26 @@
 /// `window <= 1` returns the input unchanged.
 #[must_use]
 pub fn sma(xs: &[f64], window: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(xs.len());
+    sma_into(xs, window, &mut out);
+    out
+}
+
+/// [`sma`] writing into a reused buffer (cleared first) instead of
+/// allocating. `out` must not alias `xs`.
+pub fn sma_into(xs: &[f64], window: usize, out: &mut Vec<f64>) {
+    out.clear();
+    out.reserve(xs.len());
     if window <= 1 || xs.is_empty() {
-        return xs.to_vec();
+        out.extend_from_slice(xs);
+        return;
     }
     let k = window / 2;
-    (0..xs.len())
-        .map(|t| {
-            let lo = t.saturating_sub(k);
-            let hi = (t + k + 1).min(xs.len());
-            xs[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
-        })
-        .collect()
+    out.extend((0..xs.len()).map(|t| {
+        let lo = t.saturating_sub(k);
+        let hi = (t + k + 1).min(xs.len());
+        xs[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+    }));
 }
 
 #[cfg(test)]

@@ -7,13 +7,14 @@
 //! [`names`] lists everything in paper order.
 
 use crate::algorithms::AlgorithmSpec;
+use crate::config::pipeline_mechanisms;
 use crate::config::{epsilon_grid, ExperimentConfig};
 use crate::datasets::{Dataset, DatasetData};
 use crate::report::{render_artifact, Series, SeriesTable};
 use crate::runner::{self, Metric, TrialSpec};
 use ldp_collector::{ClientFleet, Collector, CollectorConfig, FleetConfig, ReseedingSession};
 use ldp_core::highdim::{publish_multidim, SplitStrategy};
-use ldp_core::{crowd, PpKind, SessionKind};
+use ldp_core::{crowd, PipelineSpec, PpKind, SessionKind};
 use ldp_metrics::Summary;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -37,6 +38,7 @@ pub fn names() -> &'static [&'static str] {
         "fig10",
         "fig11",
         "collector_scale",
+        "pipeline_grid",
     ]
 }
 
@@ -54,6 +56,7 @@ pub fn run(name: &str, cfg: &ExperimentConfig) -> Option<String> {
         "fig10" => Some(fig10(cfg)),
         "fig11" => Some(fig11(cfg)),
         "collector_scale" => Some(collector_scale(cfg)),
+        "pipeline_grid" => Some(pipeline_grid(cfg)),
         _ => None,
     }
 }
@@ -409,7 +412,7 @@ pub fn collector_scale(cfg: &ExperimentConfig) -> String {
         );
         let collector = Collector::new(CollectorConfig::default());
         let fleet = ClientFleet::new(FleetConfig {
-            kind: SessionKind::Capp,
+            spec: PipelineSpec::sw(SessionKind::Capp),
             epsilon,
             w,
             seed: cfg.sub_seed(&[12, scale as u64, 1]),
@@ -429,8 +432,13 @@ pub fn collector_scale(cfg: &ExperimentConfig) -> String {
 
         // Offline reference: the batch crowd path over the same seeded
         // sessions, and the ground truth without privacy.
-        let adapter = ReseedingSession::new(SessionKind::Capp, epsilon, w, fleet.config().seed)
-            .expect("static config");
+        let adapter = ReseedingSession::new(
+            PipelineSpec::sw(SessionKind::Capp),
+            epsilon,
+            w,
+            fleet.config().seed,
+        )
+        .expect("static config");
         let mut unused = StdRng::seed_from_u64(0);
         let batch =
             crowd::estimated_population_means(&population, range.clone(), &adapter, &mut unused);
@@ -445,6 +453,73 @@ pub fn collector_scale(cfg: &ExperimentConfig) -> String {
             (online - batch_mean).abs(),
             (online - truth).abs(),
         ));
+    }
+    out
+}
+
+/// Pipeline grid scenario: every SessionKind × MechanismKind cell drives
+/// a client fleet end-to-end through the collector at fixed `(ε, w)`,
+/// reporting ingest throughput, the gap to the offline batch path (which
+/// must be ≈ 0 for every cell — the agreement the tests pin at 1e-9),
+/// and the distance to ground truth. The mechanism axis is configurable
+/// via `LDP_GRID_MECHS` (see [`pipeline_mechanisms`]).
+#[must_use]
+pub fn pipeline_grid(cfg: &ExperimentConfig) -> String {
+    let (epsilon, w) = (2.0, W);
+    let slots = 60;
+    let range = 0..slots;
+    let users = cfg.fleet_users.max(1);
+    let mechanisms = pipeline_mechanisms();
+    let population = ldp_streams::synthetic::taxi_population(users, slots, cfg.sub_seed(&[13]));
+    let truth = crowd::true_windowed_population_mean(&population, range.clone());
+    let mut out = format!(
+        "## Pipeline grid — SessionKind × MechanismKind (ε = {epsilon}, w = {w}, \
+         {users} users × {slots} slots)\n\n\
+         | pipeline | reports | reports/s | \\|pop mean − batch\\| | \\|pop mean − truth\\| |\n\
+         |---|---|---|---|---|\n"
+    );
+    for session in SessionKind::ALL {
+        for &mechanism in &mechanisms {
+            let spec = PipelineSpec::new(session, mechanism);
+            let collector = Collector::new(CollectorConfig::default());
+            let fleet = ClientFleet::new(FleetConfig {
+                spec,
+                epsilon,
+                w,
+                seed: cfg.sub_seed(&[13, 1]),
+                threads: std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4),
+            });
+            let start = std::time::Instant::now();
+            let reports = fleet
+                .drive(&population, range.clone(), &collector)
+                .expect("static config");
+            let elapsed = start.elapsed();
+            let snapshot = collector.snapshot();
+            let online = snapshot
+                .windowed_mean(range.clone())
+                .expect("full coverage");
+
+            let adapter = ReseedingSession::new(spec, epsilon, w, fleet.config().seed)
+                .expect("static config");
+            let mut unused = StdRng::seed_from_u64(0);
+            let batch = crowd::estimated_population_means(
+                &population,
+                range.clone(),
+                &adapter,
+                &mut unused,
+            );
+            let batch_mean = batch.iter().sum::<f64>() / batch.len() as f64;
+
+            let rate = reports as f64 / elapsed.as_secs_f64().max(1e-9);
+            out.push_str(&format!(
+                "| {} | {reports} | {rate:.3e} | {:.3e} | {:.3e} |\n",
+                spec.label(),
+                (online - batch_mean).abs(),
+                (online - truth).abs(),
+            ));
+        }
     }
     out
 }
@@ -486,5 +561,23 @@ mod tests {
         assert!(md.contains("reports/s"));
         // Three scale rows plus the two header lines.
         assert_eq!(md.lines().filter(|l| l.starts_with("| ")).count(), 3 + 1);
+    }
+
+    #[test]
+    fn pipeline_grid_covers_every_session_kind() {
+        let md = pipeline_grid(&tiny());
+        for session in SessionKind::ALL {
+            assert!(
+                md.contains(&format!("| {}+", session.label())),
+                "grid missing {} rows:\n{md}",
+                session.label()
+            );
+        }
+        // One row per (session, mechanism) cell plus the header row.
+        let rows = md.lines().filter(|l| l.starts_with("| ")).count();
+        assert_eq!(
+            rows,
+            SessionKind::ALL.len() * pipeline_mechanisms().len() + 1
+        );
     }
 }

@@ -72,14 +72,20 @@ pub fn subsequence_metric(
                         rand::rngs::StdRng::seed_from_u64(trial.seed ^ (shard as u64) << 32);
                     let algo = spec.build(trial.epsilon, trial.w);
                     let mut summary = Summary::new();
+                    // Both buffers are reused across trials: the publish
+                    // path writes through `StreamMechanism::publish_into`,
+                    // so per-trial allocation disappears once warmed up.
+                    let mut truth: Vec<f64> = Vec::new();
+                    let mut published: Vec<f64> = Vec::new();
                     for _ in 0..n {
                         let raw = data.random_subsequence(trial.q, &mut rng);
-                        let truth: Vec<f64> = if spec.uses_symmetric_domain() {
-                            raw.iter().map(|&x| 2.0 * x - 1.0).collect()
+                        truth.clear();
+                        if spec.uses_symmetric_domain() {
+                            truth.extend(raw.iter().map(|&x| 2.0 * x - 1.0));
                         } else {
-                            raw.to_vec()
-                        };
-                        let published = algo.publish(&truth, &mut rng);
+                            truth.extend_from_slice(raw);
+                        }
+                        algo.publish_into(&truth, &mut published, &mut rng);
                         let value = match metric {
                             Metric::MeanSquaredError => {
                                 let m_est = published.iter().sum::<f64>() / published.len() as f64;

@@ -11,6 +11,14 @@ pub enum MechanismError {
     InvalidSensitivity(f64),
     /// A domain bound pair was not ordered `lo < hi` or not finite.
     InvalidDomain { lo: f64, hi: f64 },
+    /// A label did not match any known name for the expected kind of item
+    /// (mechanism kinds, session kinds, pipeline specs).
+    UnknownLabel {
+        /// What was being parsed, including the valid options.
+        expected: &'static str,
+        /// The unrecognized input.
+        got: String,
+    },
 }
 
 impl fmt::Display for MechanismError {
@@ -27,6 +35,9 @@ impl fmt::Display for MechanismError {
                     f,
                     "domain bounds must satisfy lo < hi and be finite, got [{lo}, {hi}]"
                 )
+            }
+            Self::UnknownLabel { expected, got } => {
+                write!(f, "unknown {expected} label {got:?}")
             }
         }
     }

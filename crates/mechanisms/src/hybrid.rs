@@ -55,6 +55,14 @@ impl Hybrid {
     pub fn alpha(&self) -> f64 {
         self.alpha
     }
+
+    /// Output variance for (clamped) input `v`. Both branches are unbiased
+    /// with mean `v`, so the mixture variance is the mixture of the branch
+    /// variances: `α·Var_PM + (1−α)·Var_SR`.
+    #[must_use]
+    pub fn output_variance(&self, v: f64) -> f64 {
+        self.alpha * self.pm.output_variance(v) + (1.0 - self.alpha) * self.sr.output_variance(v)
+    }
 }
 
 impl Mechanism for Hybrid {
@@ -77,6 +85,23 @@ impl Mechanism for Hybrid {
             self.pm.perturb(v, rng)
         } else {
             self.sr.perturb(v, rng)
+        }
+    }
+
+    /// Batch sampling. Below the PM threshold (`α = 0`) the whole batch
+    /// routes through SR's specialized loop — the same draws sequential
+    /// [`Self::perturb`] makes, which skips the coin when `α = 0`.
+    fn perturb_into(&self, vs: &[f64], out: &mut [f64], rng: &mut dyn RngCore) {
+        if self.alpha == 0.0 {
+            return self.sr.perturb_into(vs, out, rng);
+        }
+        assert_eq!(vs.len(), out.len(), "perturb_into: length mismatch");
+        for (y, &v) in out.iter_mut().zip(vs) {
+            *y = if rng.gen::<f64>() < self.alpha {
+                self.pm.perturb(v, rng)
+            } else {
+                self.sr.perturb(v, rng)
+            };
         }
     }
 

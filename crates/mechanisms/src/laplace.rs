@@ -88,6 +88,15 @@ impl Mechanism for Laplace {
         self.input.clip(v) + self.sample_noise(rng)
     }
 
+    /// Batch sampling; one inverse-CDF draw per element, identical to
+    /// sequential [`Self::perturb`].
+    fn perturb_into(&self, vs: &[f64], out: &mut [f64], rng: &mut dyn RngCore) {
+        assert_eq!(vs.len(), out.len(), "perturb_into: length mismatch");
+        for (y, &v) in out.iter_mut().zip(vs) {
+            *y = self.input.clip(v) + self.sample_noise(rng);
+        }
+    }
+
     fn density(&self, x: f64, y: f64) -> f64 {
         let x = self.input.clip(x);
         (-(y - x).abs() / self.scale).exp() / (2.0 * self.scale)

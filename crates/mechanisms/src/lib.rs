@@ -15,9 +15,18 @@
 //!   used by the ToPL baseline.
 //!
 //! All mechanisms implement the [`Mechanism`] trait, which exposes the
-//! privacy budget, input/output domains, a sampling method, and the exact
-//! output density — the density is what the property-test suite uses to
-//! verify the ε-LDP bound `f(y|x) ≤ e^ε · f(y|x')` pointwise.
+//! privacy budget, input/output domains, sampling methods — including the
+//! allocation-free batch primitive [`Mechanism::perturb_into`] — and the
+//! exact output density; the density is what the property-test suite uses
+//! to verify the ε-LDP bound `f(y|x) ≤ e^ε · f(y|x')` pointwise.
+//!
+//! For dynamic construction (fleet specs, experiment grids, CLI flags),
+//! [`MechanismKind`] names each mechanism and [`AnyMechanism`] is the
+//! enum-dispatched instance — see the [`kind`] module. **Bias:** SW is the
+//! one biased mechanism (`E[SW(x)]` is an affine contraction of `x`);
+//! SR / PM / Laplace / HM are unbiased, which is what
+//! [`MechanismKind::is_unbiased`] reports and what `ldp-core` uses to
+//! route debiasing.
 //!
 //! # Example
 //!
@@ -34,6 +43,7 @@
 pub mod domain;
 pub mod error;
 pub mod hybrid;
+pub mod kind;
 pub mod laplace;
 pub mod piecewise;
 pub mod sr;
@@ -44,6 +54,7 @@ pub mod traits;
 pub use domain::Domain;
 pub use error::MechanismError;
 pub use hybrid::Hybrid;
+pub use kind::{AnyMechanism, MechanismKind};
 pub use laplace::Laplace;
 pub use piecewise::Piecewise;
 pub use sr::StochasticRounding;

@@ -102,6 +102,28 @@ impl Mechanism for Piecewise {
         }
     }
 
+    /// Batch sampling with the plateau-mass and tail-width constants
+    /// hoisted; draw-for-draw identical to sequential [`Self::perturb`].
+    fn perturb_into(&self, vs: &[f64], out: &mut [f64], rng: &mut dyn RngCore) {
+        assert_eq!(vs.len(), out.len(), "perturb_into: length mismatch");
+        let plateau_mass = self.p_high * (self.c - 1.0);
+        let total = self.c + 1.0;
+        for (y, &v) in out.iter_mut().zip(vs) {
+            let (l, r) = self.plateau(v);
+            *y = if rng.gen::<f64>() < plateau_mass {
+                l + (r - l) * rng.gen::<f64>()
+            } else {
+                let left = l + self.c;
+                let u = rng.gen::<f64>() * total;
+                if u < left {
+                    -self.c + u
+                } else {
+                    r + (u - left)
+                }
+            };
+        }
+    }
+
     fn density(&self, x: f64, y: f64) -> f64 {
         if y < -self.c || y > self.c {
             return 0.0;

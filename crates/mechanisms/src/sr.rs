@@ -78,6 +78,19 @@ impl Mechanism for StochasticRounding {
         }
     }
 
+    /// Batch sampling; one uniform draw per element, identical to
+    /// sequential [`Self::perturb`].
+    fn perturb_into(&self, vs: &[f64], out: &mut [f64], rng: &mut dyn RngCore) {
+        assert_eq!(vs.len(), out.len(), "perturb_into: length mismatch");
+        for (y, &v) in out.iter_mut().zip(vs) {
+            *y = if rng.gen::<f64>() < self.prob_positive(v) {
+                self.c
+            } else {
+                -self.c
+            };
+        }
+    }
+
     /// Probability *mass* of the two-point output (not a density).
     fn density(&self, x: f64, y: f64) -> f64 {
         let pp = self.prob_positive(x);

@@ -205,6 +205,27 @@ impl Mechanism for SquareWave {
         }
     }
 
+    /// Batch sampling with the near/far-zone constants hoisted out of the
+    /// loop; draw-for-draw identical to sequential [`Self::perturb`].
+    fn perturb_into(&self, vs: &[f64], out: &mut [f64], rng: &mut dyn RngCore) {
+        assert_eq!(vs.len(), out.len(), "perturb_into: length mismatch");
+        let near_mass = 2.0 * self.b * self.p;
+        let two_b = 2.0 * self.b;
+        for (y, &v) in out.iter_mut().zip(vs) {
+            let v = Domain::UNIT.clip(v);
+            *y = if rng.gen::<f64>() < near_mass {
+                v - self.b + two_b * rng.gen::<f64>()
+            } else {
+                let u = rng.gen::<f64>();
+                if u < v {
+                    -self.b + u
+                } else {
+                    v + self.b + (u - v)
+                }
+            };
+        }
+    }
+
     /// `E[SW(x)] = 2b(p−q)x + qb + q/2` (paper §V).
     fn expected_output(&self, x: f64) -> f64 {
         let x = Domain::UNIT.clip(x);

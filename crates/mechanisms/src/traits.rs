@@ -36,9 +36,31 @@ pub trait Mechanism {
     /// the additive / piecewise mechanisms are unbiased.
     fn expected_output(&self, x: f64) -> f64;
 
-    /// Perturbs every element of a slice, in order.
+    /// Perturbs `vs[i]` into `out[i]` for every element, in order, without
+    /// allocating — the batch primitive of the client→collector hot path.
+    ///
+    /// The default loops over [`Self::perturb`]; every mechanism in this
+    /// crate overrides it with a loop that hoists per-call constants.
+    /// Overrides must consume the RNG stream exactly like sequential
+    /// `perturb` calls so batch and slot-at-a-time paths stay seed-for-seed
+    /// identical (the dispatch-parity tests pin this).
+    ///
+    /// # Panics
+    /// Panics if `vs.len() != out.len()`.
+    fn perturb_into(&self, vs: &[f64], out: &mut [f64], rng: &mut dyn RngCore) {
+        assert_eq!(vs.len(), out.len(), "perturb_into: length mismatch");
+        for (y, &v) in out.iter_mut().zip(vs) {
+            *y = self.perturb(v, rng);
+        }
+    }
+
+    /// Perturbs every element of a slice, in order, allocating the output.
+    /// Layered on [`Self::perturb_into`]; prefer `perturb_into` with a
+    /// reused buffer on hot paths.
     fn perturb_slice(&self, vs: &[f64], rng: &mut dyn RngCore) -> Vec<f64> {
-        vs.iter().map(|&v| self.perturb(v, rng)).collect()
+        let mut out = vec![0.0; vs.len()];
+        self.perturb_into(vs, &mut out, rng);
+        out
     }
 }
 
@@ -57,5 +79,25 @@ mod tests {
         let batch = sw.perturb_slice(&xs, &mut r1);
         let seq: Vec<f64> = xs.iter().map(|&x| sw.perturb(x, &mut r2)).collect();
         assert_eq!(batch, seq);
+    }
+
+    #[test]
+    fn perturb_into_reuses_buffer_and_matches_slice() {
+        let sw = SquareWave::new(0.8).unwrap();
+        let xs = [0.0, 0.25, 0.5, 0.75, 1.0];
+        let mut out = [0.0; 5];
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(9);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(9);
+        sw.perturb_into(&xs, &mut out, &mut r1);
+        assert_eq!(out.to_vec(), sw.perturb_slice(&xs, &mut r2));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn perturb_into_rejects_mismatched_lengths() {
+        let sw = SquareWave::new(1.0).unwrap();
+        let mut out = [0.0; 2];
+        let mut r = rand::rngs::StdRng::seed_from_u64(0);
+        sw.perturb_into(&[0.5; 3], &mut out, &mut r);
     }
 }

@@ -1,5 +1,5 @@
 //! No-op `Serialize` / `Deserialize` derive macros for the offline
-//! [`serde`] shim. Nothing in this workspace actually serializes — the
+//! `serde` shim. Nothing in this workspace actually serializes — the
 //! derives exist only so `#[derive(Serialize, Deserialize)]` on config
 //! and report types keeps compiling without the real serde crates.
 

@@ -6,7 +6,7 @@
 //! Run: `cargo run --release -p ldp-examples --bin crowd_collector`
 
 use ldp_collector::{ClientFleet, Collector, CollectorConfig, FleetConfig};
-use ldp_core::{crowd, SessionKind};
+use ldp_core::{crowd, PipelineSpec, SessionKind};
 use ldp_streams::synthetic::taxi_population;
 
 fn main() {
@@ -16,7 +16,7 @@ fn main() {
 
     let collector = Collector::new(CollectorConfig::default());
     let fleet = ClientFleet::new(FleetConfig {
-        kind: SessionKind::Capp,
+        spec: PipelineSpec::sw(SessionKind::Capp),
         epsilon,
         w,
         seed: 7,

@@ -12,17 +12,10 @@ use integration_tests::test_rng;
 use ldp_collector::{
     ClientFleet, Collector, CollectorConfig, FleetConfig, ReportBatch, ReseedingSession,
 };
-use ldp_core::online::{OnlineSession, SessionKind};
+use ldp_core::online::{OnlineSession, PipelineSpec, SessionKind};
 use ldp_core::{crowd, StreamMechanism, WEventAccountant};
 use ldp_streams::synthetic::{power_population, taxi_population};
 use proptest::prelude::*;
-
-const KINDS: [SessionKind; 4] = [
-    SessionKind::SwDirect,
-    SessionKind::Ipp,
-    SessionKind::App,
-    SessionKind::Capp,
-];
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -38,21 +31,21 @@ proptest! {
         slots in 1usize..300,
         seed in 0u64..500,
     ) {
-        for kind in KINDS {
-            let mut session = OnlineSession::of_kind(kind, eps, w).unwrap();
+        for spec in PipelineSpec::grid() {
+            let mut session = OnlineSession::of_spec(spec, eps, w).unwrap();
             let mut rng = test_rng(seed);
             for t in 0..slots {
                 let x = 0.5 + 0.4 * ((t as f64) / 9.0).sin();
                 let _ = session.report(x, &mut rng);
             }
             let acc = session.accountant();
-            prop_assert!(acc.satisfies_w_event(), "{} violates w-event", kind.label());
+            prop_assert!(acc.satisfies_w_event(), "{} violates w-event", spec.label());
             prop_assert!(acc.max_window_spend() <= eps * (1.0 + 1e-9));
             if slots >= w {
                 prop_assert!(
                     acc.max_window_spend() >= eps * (1.0 - 1e-9),
                     "{}: schedule should saturate the window budget",
-                    kind.label()
+                    spec.label()
                 );
             }
         }
@@ -74,22 +67,23 @@ proptest! {
     }
 }
 
-/// Fleet → collector snapshots reproduce the offline batch path exactly:
+/// Fleet → collector snapshots reproduce the offline batch path exactly
+/// for EVERY pipeline cell (all 4 SessionKinds × all 5 MechanismKinds):
 /// per-user means match `crowd::estimated_population_means` and the
 /// windowed population mean matches the batch average, within 1e-9.
 #[test]
-fn snapshot_matches_batch_crowd_path() {
-    let (users, slots) = (120, 60);
+fn snapshot_matches_batch_crowd_path_for_every_grid_cell() {
+    let (users, slots) = (60, 40);
     let (epsilon, w, seed) = (2.5, 12, 0xBEEF);
-    let range = 5..55;
-    for kind in KINDS {
+    let range = 5..35;
+    for spec in PipelineSpec::grid() {
         let population = taxi_population(users, slots, 31);
         let collector = Collector::new(CollectorConfig {
             shards: 6,
             ..CollectorConfig::default()
         });
         let fleet = ClientFleet::new(FleetConfig {
-            kind,
+            spec,
             epsilon,
             w,
             seed,
@@ -97,8 +91,9 @@ fn snapshot_matches_batch_crowd_path() {
         });
         let reports = fleet.drive(&population, range.clone(), &collector).unwrap();
         assert_eq!(reports as usize, users * range.len());
+        assert_eq!(collector.rejected_reports(), 0, "{}", spec.label());
 
-        let adapter = ReseedingSession::new(kind, epsilon, w, seed).unwrap();
+        let adapter = ReseedingSession::new(spec, epsilon, w, seed).unwrap();
         let batch = crowd::estimated_population_means(
             &population,
             range.clone(),
@@ -113,7 +108,7 @@ fn snapshot_matches_batch_crowd_path() {
             assert!(
                 (a - b).abs() < 1e-9,
                 "{}: user {u} online {a} vs batch {b}",
-                kind.label()
+                spec.label()
             );
         }
 
@@ -122,7 +117,7 @@ fn snapshot_matches_batch_crowd_path() {
         assert!(
             (windowed - batch_mean).abs() < 1e-9,
             "{}: windowed {windowed} vs batch {batch_mean}",
-            kind.label()
+            spec.label()
         );
     }
 }
@@ -141,7 +136,7 @@ fn ingestion_is_batching_insensitive() {
         ..CollectorConfig::default()
     });
     let fleet = ClientFleet::new(FleetConfig {
-        kind: SessionKind::App,
+        spec: PipelineSpec::sw(SessionKind::App),
         epsilon: 1.5,
         w: 6,
         seed: 9,
@@ -152,7 +147,7 @@ fn ingestion_is_batching_insensitive() {
     // Replay the same published values in per-slot mini-batches. The
     // adapter reseeds per publish call, so iterating users in order
     // reproduces the fleet's per-user streams.
-    let adapter = ReseedingSession::new(SessionKind::App, 1.5, 6, 9).unwrap();
+    let adapter = ReseedingSession::new(PipelineSpec::sw(SessionKind::App), 1.5, 6, 9).unwrap();
     for (user, stream) in population.iter().enumerate() {
         let published = adapter.publish(stream.subsequence(0..30), &mut test_rng(0));
         for (slot, &value) in published.iter().enumerate() {
@@ -178,7 +173,7 @@ fn windowed_population_mean_tracks_truth() {
     let range = 10..70;
     let collector = Collector::default();
     let fleet = ClientFleet::new(FleetConfig {
-        kind: SessionKind::Capp,
+        spec: PipelineSpec::sw(SessionKind::Capp),
         epsilon: 4.0,
         w: 10,
         seed: 1,

@@ -1,0 +1,178 @@
+//! Mechanism-dispatch parity and pipeline-grid guarantees.
+//!
+//! The mechanism-generic pipeline rides on two invariants:
+//!
+//! 1. **Dispatch parity** — routing a mechanism through
+//!    [`MechanismKind::build`] / [`AnyMechanism`] must be seed-for-seed
+//!    identical to calling the concrete type directly, for the scalar,
+//!    batch-into, and batch-alloc sampling paths alike. Otherwise the
+//!    fleet (dispatched) and the figure reproductions (concrete) would
+//!    silently disagree.
+//! 2. **w-event safety of every grid cell** — an [`OnlineSession`] for
+//!    any `(SessionKind, MechanismKind)` pair spends at most ε in any
+//!    window of `w` slots, because the budget schedule is set by the
+//!    session, not by the mechanism.
+
+use integration_tests::test_rng;
+use ldp_core::online::{OnlineSession, PipelineSpec};
+use ldp_mechanisms::{
+    Hybrid, Laplace, Mechanism, MechanismKind, Piecewise, SquareWave, StochasticRounding,
+};
+use proptest::prelude::*;
+
+/// Test inputs spanning the unit domain (clamping covers the symmetric
+/// mechanisms' wider domain: the backend hands them native-scale values).
+fn unit_inputs() -> Vec<f64> {
+    (0..64).map(|i| i as f64 / 63.0).collect()
+}
+
+fn native_inputs(kind: MechanismKind, eps: f64) -> Vec<f64> {
+    let dom = kind.build(eps).unwrap().input_domain();
+    unit_inputs().iter().map(|&x| dom.denormalize(x)).collect()
+}
+
+/// Sequential concrete perturb calls for a kind, consuming `rng` exactly
+/// like the dispatched path should.
+fn concrete_sequential(kind: MechanismKind, eps: f64, xs: &[f64], seed: u64) -> Vec<f64> {
+    let mut rng = test_rng(seed);
+    match kind {
+        MechanismKind::SquareWave => {
+            let m = SquareWave::new(eps).unwrap();
+            xs.iter().map(|&x| m.perturb(x, &mut rng)).collect()
+        }
+        MechanismKind::StochasticRounding => {
+            let m = StochasticRounding::new(eps).unwrap();
+            xs.iter().map(|&x| m.perturb(x, &mut rng)).collect()
+        }
+        MechanismKind::Piecewise => {
+            let m = Piecewise::new(eps).unwrap();
+            xs.iter().map(|&x| m.perturb(x, &mut rng)).collect()
+        }
+        MechanismKind::Laplace => {
+            let m = Laplace::new(eps).unwrap();
+            xs.iter().map(|&x| m.perturb(x, &mut rng)).collect()
+        }
+        MechanismKind::Hybrid => {
+            let m = Hybrid::new(eps).unwrap();
+            xs.iter().map(|&x| m.perturb(x, &mut rng)).collect()
+        }
+    }
+}
+
+/// Dispatch parity across all three sampling paths, for every kind and a
+/// spread of budgets (including ones straddling the Hybrid PM threshold).
+#[test]
+fn dispatched_sampling_is_seed_identical_to_concrete() {
+    for kind in MechanismKind::ALL {
+        for &eps in &[0.1, 0.61, 1.0, 3.0] {
+            let xs = native_inputs(kind, eps);
+            let reference = concrete_sequential(kind, eps, &xs, 42);
+
+            let any = kind.build(eps).unwrap();
+            // Scalar dispatch.
+            let mut rng = test_rng(42);
+            let scalar: Vec<f64> = xs.iter().map(|&x| any.perturb(x, &mut rng)).collect();
+            assert_eq!(scalar, reference, "{kind} ε={eps}: scalar dispatch");
+
+            // Batch-into dispatch (specialized overrides).
+            let mut out = vec![0.0; xs.len()];
+            any.perturb_into(&xs, &mut out, &mut test_rng(42));
+            assert_eq!(out, reference, "{kind} ε={eps}: perturb_into");
+
+            // Batch-alloc dispatch.
+            assert_eq!(
+                any.perturb_slice(&xs, &mut test_rng(42)),
+                reference,
+                "{kind} ε={eps}: perturb_slice"
+            );
+        }
+    }
+}
+
+/// The moment interfaces agree through dispatch too: the density at the
+/// expected output and the ε accessor survive the enum round trip.
+#[test]
+fn dispatched_metadata_matches_concrete() {
+    for kind in MechanismKind::ALL {
+        let eps = 1.2;
+        let any = kind.build(eps).unwrap();
+        assert_eq!(any.epsilon(), eps, "{kind}");
+        let x = any.input_domain().denormalize(0.75);
+        assert!(any.output_domain().contains(any.expected_output(x)) || !kind.is_unbiased());
+        // A mechanism must put positive density (or mass) somewhere.
+        let y = any.perturb(x, &mut test_rng(1));
+        assert!(
+            any.density(x, y) > 0.0,
+            "{kind}: zero density at own sample"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every (SessionKind, MechanismKind) cell preserves the w-event
+    /// guarantee under arbitrary budgets, windows, and stream lengths —
+    /// and its budget schedule saturates the window, so the check is
+    /// tight rather than vacuous.
+    #[test]
+    fn every_pipeline_cell_preserves_the_w_event_guarantee(
+        eps in 0.1..6.0f64,
+        w in 1usize..32,
+        slots in 1usize..200,
+        seed in 0u64..500,
+    ) {
+        for spec in PipelineSpec::grid() {
+            let mut session = OnlineSession::of_spec(spec, eps, w).unwrap();
+            let mut rng = test_rng(seed);
+            for t in 0..slots {
+                let x = 0.5 + 0.4 * ((t as f64) / 9.0).sin();
+                let y = session.report(x, &mut rng);
+                prop_assert!(y.is_finite(), "{}: non-finite report", spec.label());
+            }
+            let acc = session.accountant();
+            prop_assert!(
+                acc.satisfies_w_event(),
+                "{} violates the w-event guarantee",
+                spec.label()
+            );
+            prop_assert!(acc.max_window_spend() <= eps * (1.0 + 1e-9));
+            if slots >= w {
+                prop_assert!(
+                    acc.max_window_spend() >= eps * (1.0 - 1e-9),
+                    "{}: schedule should saturate the window budget",
+                    spec.label()
+                );
+            }
+        }
+    }
+
+    /// Unbiased backends stay unbiased through the whole unit-scale
+    /// pipeline: a direct (no-feedback) session's reports average to the
+    /// input.
+    #[test]
+    fn direct_sessions_over_unbiased_backends_center_on_the_input(
+        x in 0.05..0.95f64,
+        seed in 0u64..100,
+    ) {
+        use ldp_core::online::SessionKind;
+        for mechanism in MechanismKind::ALL {
+            if !mechanism.is_unbiased() {
+                continue;
+            }
+            let spec = PipelineSpec::new(SessionKind::SwDirect, mechanism);
+            // Generous ε (slot budget 10) so 400 samples give a tight
+            // empirical mean, while staying well inside f64 range for
+            // PM/HM whose parameters hold e^ε.
+            let mut session = OnlineSession::of_spec(spec, 40.0, 4).unwrap();
+            let mut rng = test_rng(seed);
+            let n = 400;
+            let mean: f64 = (0..n).map(|_| session.report(x, &mut rng)).sum::<f64>() / n as f64;
+            prop_assert!(
+                (mean - x).abs() < 0.1,
+                "{}: empirical mean {mean} far from input {x}",
+                spec.label()
+            );
+        }
+    }
+}
