@@ -56,7 +56,7 @@ fn main() {
                 "{:<10} shards={shards:<3} {reports:>9} reports in {elapsed:>9.2?}  ({:>11.0} reports/s)  pop_mean={:.4}",
                 kind.label(),
                 reports as f64 / elapsed.as_secs_f64(),
-                snapshot.population_mean(),
+                snapshot.population_mean().unwrap_or(f64::NAN),
             );
         }
     }

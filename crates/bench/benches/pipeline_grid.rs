@@ -61,7 +61,7 @@ fn main() {
         println!(
             "{:<14} {reports:>9} reports in {elapsed:>9.2?}  ({rate:>11.0} reports/s)  pop_mean={:.4}",
             spec.label(),
-            snapshot.population_mean(),
+            snapshot.population_mean().unwrap_or(f64::NAN),
         );
         if fastest.as_ref().is_none_or(|(_, r)| rate > *r) {
             fastest = Some((spec.label(), rate));

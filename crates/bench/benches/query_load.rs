@@ -1,0 +1,98 @@
+//! Query-load benchmark: a live [`ldp_collector::QueryEngine`] serving
+//! crowd queries while the client fleet sustains full ingest throughput.
+//!
+//! For each shard count the bench runs the same fleet twice — once plain
+//! (the ingest baseline) and once with the concurrent query thread
+//! hammering the epoch-cached view — and reports both ingest rates plus
+//! the query rate, so any ingest regression caused by query load is
+//! visible as the ratio between the two rows. Retention is bounded
+//! (`LDP_BENCH_RETENTION`, default 64 slots), so the run also demonstrates
+//! flat collector memory on a stream much longer than the window.
+//!
+//! Run: `cargo bench -p ldp-bench --bench query_load`. Scale with
+//! `LDP_BENCH_USERS` / `LDP_BENCH_SLOTS` / `LDP_BENCH_RETENTION`
+//! (defaults 2,500 × 400 = 1M reports, retention 64).
+
+use ldp_collector::{ClientFleet, Collector, CollectorConfig, FleetConfig, SlotRetention};
+use ldp_core::{PipelineSpec, SessionKind};
+use ldp_streams::synthetic::taxi_population;
+use std::time::Instant;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let users = env_usize("LDP_BENCH_USERS", 2_500);
+    let slots = env_usize("LDP_BENCH_SLOTS", 400);
+    let retention = env_usize("LDP_BENCH_RETENTION", 64) as u64;
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let (epsilon, w) = (2.0, 10);
+    eprintln!(
+        "# query load bench: {users} users x {slots} slots ({} reports), \
+         retention {retention} slots, {threads} threads",
+        users * slots
+    );
+
+    let gen_start = Instant::now();
+    let population = taxi_population(users, slots, 0xFEED);
+    eprintln!("# population generated in {:.2?}", gen_start.elapsed());
+
+    let fleet = ClientFleet::new(FleetConfig {
+        spec: PipelineSpec::sw(SessionKind::Capp),
+        epsilon,
+        w,
+        seed: 7,
+        threads,
+    });
+    for shards in [1usize, threads.max(1)] {
+        let config = CollectorConfig {
+            shards,
+            retention: SlotRetention::Last(retention),
+            ..CollectorConfig::default()
+        };
+
+        // Baseline: ingest only.
+        let collector = Collector::new(config);
+        let start = Instant::now();
+        let reports = fleet
+            .drive(&population, 0..slots, &collector)
+            .expect("static config");
+        let base_elapsed = start.elapsed();
+        let base_rate = reports as f64 / base_elapsed.as_secs_f64();
+        println!(
+            "ingest-only  shards={shards:<3} {reports:>9} reports in {base_elapsed:>9.2?}  \
+             ({base_rate:>11.0} reports/s)"
+        );
+
+        // Live: same fleet with the concurrent query thread.
+        let collector = Collector::new(config);
+        let start = Instant::now();
+        let load = fleet
+            .drive_with_queries(&population, 0..slots, &collector, w)
+            .expect("static config");
+        let elapsed = start.elapsed();
+        let rate = load.uploaded as f64 / elapsed.as_secs_f64();
+        let qrate = load.queries as f64 / elapsed.as_secs_f64();
+        assert_eq!(load.uploaded, reports);
+        assert!(load.retained_slots as u64 <= retention, "memory bounded");
+        println!(
+            "with-queries shards={shards:<3} {reports:>9} reports in {elapsed:>9.2?}  \
+             ({rate:>11.0} reports/s)  {:>9} queries ({qrate:>10.0} queries/s)  \
+             {} refreshes  retained={} pop_mean={:.4}",
+            load.queries,
+            load.refreshes,
+            load.retained_slots,
+            load.final_population_mean.unwrap_or(f64::NAN),
+        );
+        println!(
+            "             shards={shards:<3} ingest kept {:.1}% of baseline under query load",
+            100.0 * rate / base_rate
+        );
+    }
+}

@@ -2,11 +2,56 @@
 //!
 //! A shard owns a disjoint subset of users and aggregates their reports
 //! into per-slot moment sums (count / sum / sum-of-squares) plus per-user
-//! running sums. Everything is O(1) per report and mergeable, so shards
-//! aggregate independently and a snapshot reduces them at query time.
+//! running sums. Everything is O(1) amortized per report and mergeable, so
+//! shards aggregate independently and a snapshot reduces them at query
+//! time.
+//!
+//! Slot state is bounded by a [`SlotRetention`] policy: with
+//! `SlotRetention::Last(R)` a shard keeps per-slot stats only for the most
+//! recent `R` slots it has seen; older slots fold into a frozen prefix
+//! aggregate ([`ShardAccumulator::frozen`]), so memory stays O(R) on an
+//! unbounded stream while lifetime totals stay exact. Per-user running
+//! sums are O(1) per user regardless of stream length, so they are not
+//! subject to retention.
 
 use crate::report::SlotReport;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
+
+/// How long a shard keeps per-slot statistics queryable.
+///
+/// Retention bounds *slot* state only: per-user running sums and the
+/// frozen prefix totals remain exact forever, so lifetime aggregates
+/// (total reports, population means) are unaffected by expiry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SlotRetention {
+    /// Keep every slot ever reported (the historical behaviour; memory
+    /// grows linearly with stream length).
+    #[default]
+    Unbounded,
+    /// Keep only the most recent `R` slots; anything older folds into the
+    /// frozen prefix. For the paper's w-event setting choose `R ≥ w` so
+    /// every query the privacy guarantee covers stays answerable.
+    Last(u64),
+}
+
+impl SlotRetention {
+    /// The retained-slot bound, or `None` when unbounded.
+    #[must_use]
+    pub fn limit(self) -> Option<u64> {
+        match self {
+            SlotRetention::Unbounded => None,
+            SlotRetention::Last(r) => Some(r),
+        }
+    }
+
+    /// Panics on a degenerate policy (`Last(0)` would retain nothing and
+    /// silently freeze every report on arrival).
+    pub(crate) fn validate(self) {
+        if let SlotRetention::Last(r) = self {
+            assert!(r > 0, "retention must keep at least one slot");
+        }
+    }
+}
 
 /// Running first and second moments of the reports for one time slot.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -32,6 +77,28 @@ impl SlotStats {
         self.count += other.count;
         self.sum += other.sum;
         self.sum_sq += other.sum_sq;
+    }
+
+    /// Removes a previously merged accumulator (the delta-merge path of
+    /// the live query engine). Moment sums are group elements, so this is
+    /// exact up to floating-point cancellation; when the count returns to
+    /// zero the float sums are reset so no residue can masquerade as data.
+    ///
+    /// # Panics
+    /// Panics if `other` was never merged in (`other.count > self.count`)
+    /// — wrapping the count would silently poison every downstream mean.
+    pub fn unmerge(&mut self, other: &SlotStats) {
+        self.count = self
+            .count
+            .checked_sub(other.count)
+            .expect("unmerge of stats never merged");
+        if self.count == 0 {
+            self.sum = 0.0;
+            self.sum_sq = 0.0;
+        } else {
+            self.sum -= other.sum;
+            self.sum_sq -= other.sum_sq;
+        }
     }
 
     /// Mean of the reports, or `None` for an empty slot.
@@ -67,20 +134,41 @@ impl UserStats {
 
 /// One shard's aggregation state.
 ///
-/// Slot stats are stored densely (indexed by slot), user stats in an
+/// Slot stats are stored densely for the retained range
+/// `[base, slot_end)` (a deque, so expiring the oldest slot is O(1));
+/// expired slots live on as one frozen aggregate. User stats sit in an
 /// ordered map so merged snapshots list users deterministically.
 #[derive(Debug, Clone, Default)]
 pub struct ShardAccumulator {
-    slots: Vec<SlotStats>,
+    /// Global slot index of the first retained slot (== the number of
+    /// slot positions folded into the frozen prefix).
+    base: u64,
+    /// Retained per-slot stats; index `i` is global slot `base + i`.
+    slots: VecDeque<SlotStats>,
+    /// `None` = unbounded; `Some(r)` keeps the most recent `r` slots.
+    retention: Option<u64>,
+    /// Aggregate over every expired slot, plus late reports that arrive
+    /// for slots already below `base` — totals stay exact under expiry.
+    frozen: SlotStats,
     users: BTreeMap<u64, UserStats>,
     reports: u64,
 }
 
 impl ShardAccumulator {
-    /// An empty shard.
+    /// An empty, unbounded shard.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty shard with the given retention policy.
+    #[must_use]
+    pub fn with_retention(retention: SlotRetention) -> Self {
+        retention.validate();
+        Self {
+            retention: retention.limit(),
+            ..Self::default()
+        }
     }
 
     /// Folds one report in.
@@ -92,15 +180,44 @@ impl ShardAccumulator {
     /// engine's column-walking ingest loop hands over, with no row struct
     /// materialized in between.
     pub fn ingest_parts(&mut self, user: u64, slot: u64, value: f64) {
-        let slot = usize::try_from(slot).expect("slot index overflows usize");
-        if slot >= self.slots.len() {
-            self.slots.resize(slot + 1, SlotStats::default());
+        match self.retained_index(slot) {
+            Some(i) => self.slots[i].add(value),
+            // Late report for an already-expired slot: its own stats are
+            // gone, but the value still counts toward lifetime totals.
+            None => self.frozen.add(value),
         }
-        self.slots[slot].add(value);
         let user = self.users.entry(user).or_default();
         user.count += 1;
         user.sum += value;
         self.reports += 1;
+    }
+
+    /// Index of `slot` in the retained deque, growing and/or advancing the
+    /// retention window as needed. `None` if the slot expired (below
+    /// `base`).
+    fn retained_index(&mut self, slot: u64) -> Option<usize> {
+        if slot < self.base {
+            return None;
+        }
+        if let Some(r) = self.retention {
+            if slot - self.base >= r {
+                // The window slides: everything below the new base freezes.
+                // (`slot ≥ r > r - 1`, so this cannot underflow — and
+                // unlike `slot + 1 - r` it cannot overflow at u64::MAX.)
+                let new_base = slot - (r - 1);
+                let expire = (new_base - self.base).min(self.slots.len() as u64);
+                for _ in 0..expire {
+                    let old = self.slots.pop_front().expect("expire bounded by len");
+                    self.frozen.merge(&old);
+                }
+                self.base = new_base;
+            }
+        }
+        let i = usize::try_from(slot - self.base).expect("slot index overflows usize");
+        if i >= self.slots.len() {
+            self.slots.resize(i + 1, SlotStats::default());
+        }
+        Some(i)
     }
 
     /// Number of reports folded in so far.
@@ -109,16 +226,54 @@ impl ShardAccumulator {
         self.reports
     }
 
-    /// Highest slot index seen plus one (the dense slot range).
+    /// Global slot index of the first retained slot (0 until retention
+    /// ever expires a slot).
+    #[must_use]
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// One past the highest slot index seen (`base + retained length`).
+    #[must_use]
+    pub fn slot_end(&self) -> u64 {
+        self.base + self.slots.len() as u64
+    }
+
+    /// Number of retained slots (the dense range `[base, slot_end)`).
     #[must_use]
     pub fn slot_count(&self) -> usize {
         self.slots.len()
     }
 
-    /// Borrows the dense per-slot stats.
+    /// The retention policy the shard was built with.
     #[must_use]
-    pub fn slots(&self) -> &[SlotStats] {
-        &self.slots
+    pub fn retention(&self) -> SlotRetention {
+        match self.retention {
+            None => SlotRetention::Unbounded,
+            Some(r) => SlotRetention::Last(r),
+        }
+    }
+
+    /// Stats for one global slot index, or `None` if the slot is expired
+    /// or past the end of the retained range.
+    #[must_use]
+    pub fn slot_stats(&self, slot: u64) -> Option<&SlotStats> {
+        let i = usize::try_from(slot.checked_sub(self.base)?).ok()?;
+        self.slots.get(i)
+    }
+
+    /// Iterates the retained slots as `(global slot index, stats)`.
+    pub fn retained_slots(&self) -> impl Iterator<Item = (u64, &SlotStats)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (self.base + i as u64, s))
+    }
+
+    /// Aggregate over every expired slot (plus late reports below `base`).
+    #[must_use]
+    pub fn frozen(&self) -> &SlotStats {
+        &self.frozen
     }
 
     /// Borrows the per-user running stats (ordered by user id).
@@ -164,6 +319,22 @@ mod tests {
     }
 
     #[test]
+    fn unmerge_reverses_merge_and_zeroes_residue() {
+        let mut a = SlotStats::default();
+        for v in [0.3, 0.7] {
+            a.add(v);
+        }
+        let b = a;
+        let mut sum = a;
+        sum.merge(&b);
+        sum.unmerge(&b);
+        assert_eq!(sum.count, a.count);
+        assert!((sum.sum - a.sum).abs() < 1e-12);
+        sum.unmerge(&a);
+        assert_eq!(sum, SlotStats::default(), "empty stats carry no residue");
+    }
+
+    #[test]
     fn shard_ingest_grows_slots_and_tracks_users() {
         let mut shard = ShardAccumulator::new();
         shard.ingest(&SlotReport {
@@ -182,10 +353,90 @@ mod tests {
             value: 0.1,
         });
         assert_eq!(shard.reports(), 3);
+        assert_eq!(shard.base(), 0);
         assert_eq!(shard.slot_count(), 7);
-        assert_eq!(shard.slots()[5].count, 2);
-        assert_eq!(shard.slots()[0].count, 0);
+        assert_eq!(shard.slot_end(), 7);
+        assert_eq!(shard.slot_stats(5).unwrap().count, 2);
+        assert_eq!(shard.slot_stats(0).unwrap().count, 0);
         assert!((shard.users()[&3].mean().unwrap() - 0.6).abs() < 1e-12);
         assert_eq!(shard.users()[&9].count, 1);
+    }
+
+    #[test]
+    fn retention_expires_old_slots_into_frozen() {
+        let mut shard = ShardAccumulator::with_retention(SlotRetention::Last(3));
+        for slot in 0..10u64 {
+            shard.ingest_parts(1, slot, 0.5);
+        }
+        assert_eq!(shard.slot_count(), 3, "memory bounded by R");
+        assert_eq!(shard.base(), 7);
+        assert_eq!(shard.slot_end(), 10);
+        assert_eq!(shard.frozen().count, 7);
+        assert!((shard.frozen().sum - 3.5).abs() < 1e-12);
+        assert_eq!(shard.reports(), 10);
+        // Retained slots still queryable, expired ones gone.
+        assert_eq!(shard.slot_stats(7).unwrap().count, 1);
+        assert_eq!(shard.slot_stats(6), None);
+        // Lifetime user stats unaffected by expiry.
+        assert_eq!(shard.users()[&1].count, 10);
+    }
+
+    #[test]
+    fn late_reports_below_base_fold_into_frozen() {
+        let mut shard = ShardAccumulator::with_retention(SlotRetention::Last(2));
+        shard.ingest_parts(1, 10, 0.25);
+        assert_eq!(shard.base(), 9);
+        shard.ingest_parts(2, 3, 0.75); // long-expired slot
+        assert_eq!(shard.reports(), 2);
+        assert_eq!(shard.frozen().count, 1);
+        assert!((shard.frozen().sum - 0.75).abs() < 1e-12);
+        assert_eq!(shard.users()[&2].count, 1, "user totals still exact");
+    }
+
+    #[test]
+    fn far_future_jump_keeps_window_tight() {
+        let mut shard = ShardAccumulator::with_retention(SlotRetention::Last(4));
+        shard.ingest_parts(1, 0, 0.5);
+        shard.ingest_parts(1, 1_000, 0.5);
+        assert_eq!(shard.base(), 997);
+        assert_eq!(shard.slot_count(), 4);
+        assert_eq!(shard.frozen().count, 1, "slot 0 froze");
+        assert_eq!(shard.slot_stats(1_000).unwrap().count, 1);
+    }
+
+    #[test]
+    fn unbounded_retention_never_freezes() {
+        let mut shard = ShardAccumulator::with_retention(SlotRetention::Unbounded);
+        for slot in 0..50u64 {
+            shard.ingest_parts(1, slot, 0.1);
+        }
+        assert_eq!(shard.base(), 0);
+        assert_eq!(shard.slot_count(), 50);
+        assert_eq!(shard.frozen().count, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_retention_panics() {
+        let _ = ShardAccumulator::with_retention(SlotRetention::Last(0));
+    }
+
+    #[test]
+    fn max_slot_index_does_not_overflow_the_window() {
+        let mut shard = ShardAccumulator::with_retention(SlotRetention::Last(3));
+        shard.ingest_parts(1, u64::MAX, 0.5);
+        assert_eq!(shard.base(), u64::MAX - 2);
+        assert_eq!(shard.slot_stats(u64::MAX).unwrap().count, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "never merged")]
+    fn unmerge_of_unknown_stats_panics_instead_of_wrapping() {
+        let mut a = SlotStats::default();
+        a.add(0.5);
+        let mut b = SlotStats::default();
+        b.add(0.1);
+        b.add(0.2);
+        a.unmerge(&b);
     }
 }

@@ -1,10 +1,10 @@
 //! The sharded collector engine.
 
-use crate::accumulator::ShardAccumulator;
+use crate::accumulator::{ShardAccumulator, SlotRetention};
 use crate::report::ReportBatch;
 use crate::snapshot::CollectorSnapshot;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 
 /// Default bound on the dense slot range (see [`CollectorConfig::max_slots`]).
 pub const DEFAULT_MAX_SLOTS: u64 = 1 << 20;
@@ -21,11 +21,17 @@ pub struct CollectorConfig {
     /// `slot >= max_slots` are dropped and counted in
     /// [`Collector::dropped_reports`].
     pub max_slots: u64,
+    /// How long per-slot statistics stay queryable. The default keeps
+    /// every slot; [`SlotRetention::Last`]`(R)` bounds each shard to the
+    /// most recent `R` slots it has seen (choose `R ≥ w` so the w-event
+    /// window is always covered), folding older slots into exact frozen
+    /// prefix totals — collector memory stays O(R) on unbounded streams.
+    pub retention: SlotRetention,
 }
 
 impl Default for CollectorConfig {
     /// One shard per available core (capped at 16); slot bound
-    /// [`DEFAULT_MAX_SLOTS`].
+    /// [`DEFAULT_MAX_SLOTS`]; unbounded retention.
     fn default() -> Self {
         let shards = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -34,8 +40,18 @@ impl Default for CollectorConfig {
         Self {
             shards,
             max_slots: DEFAULT_MAX_SLOTS,
+            retention: SlotRetention::Unbounded,
         }
     }
+}
+
+/// One shard slot: the accumulator behind its ingest mutex, plus a
+/// lock-free epoch that advances on every mutation so the live query
+/// engine can tell changed shards apart without touching the mutex.
+#[derive(Debug)]
+struct Shard {
+    acc: Mutex<ShardAccumulator>,
+    epoch: AtomicU64,
 }
 
 /// A sharded, incremental aggregation engine for perturbed slot reports.
@@ -45,8 +61,9 @@ impl Default for CollectorConfig {
 /// user; a batch locks each shard at most once.
 #[derive(Debug)]
 pub struct Collector {
-    shards: Vec<Mutex<ShardAccumulator>>,
+    shards: Vec<Shard>,
     max_slots: u64,
+    accepted: AtomicU64,
     dropped: AtomicU64,
     rejected: AtomicU64,
 }
@@ -67,9 +84,13 @@ impl Collector {
         assert!(config.shards > 0, "collector needs at least one shard");
         Self {
             shards: (0..config.shards)
-                .map(|_| Mutex::new(ShardAccumulator::new()))
+                .map(|_| Shard {
+                    acc: Mutex::new(ShardAccumulator::with_retention(config.retention)),
+                    epoch: AtomicU64::new(0),
+                })
                 .collect(),
             max_slots: config.max_slots,
+            accepted: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
         }
@@ -104,28 +125,34 @@ impl Collector {
         if users.is_empty() {
             return 0;
         }
-        let mut accepted = 0usize;
-        let mut dropped = 0u64;
-        let mut rejected = 0u64;
-        let mut fold = |shard: &mut ShardAccumulator, i: usize| {
+        #[derive(Default)]
+        struct Tally {
+            accepted: usize,
+            dropped: u64,
+            rejected: u64,
+        }
+        let mut tally = Tally::default();
+        let fold = |shard: &mut ShardAccumulator, i: usize, t: &mut Tally| {
             if slots[i] >= self.max_slots {
-                dropped += 1;
+                t.dropped += 1;
             } else if !values[i].is_finite() {
-                rejected += 1;
+                t.rejected += 1;
             } else {
                 shard.ingest_parts(users[i], slots[i], values[i]);
-                accepted += 1;
+                t.accepted += 1;
             }
         };
         let first_shard = self.shard_of(users[0]);
         let uniform =
             self.shards.len() == 1 || users.iter().all(|&u| self.shard_of(u) == first_shard);
         if uniform {
-            let mut shard = self.shards[first_shard]
-                .lock()
-                .expect("collector shard poisoned");
+            let shard = &self.shards[first_shard];
+            let mut acc = shard.acc.lock().expect("collector shard poisoned");
             for i in 0..users.len() {
-                fold(&mut shard, i);
+                fold(&mut acc, i, &mut tally);
+            }
+            if tally.accepted > 0 {
+                shard.epoch.fetch_add(1, Ordering::Release);
             }
         } else {
             // Partition indices by shard first so each mutex is taken once.
@@ -137,30 +164,57 @@ impl Collector {
                 if indices.is_empty() {
                     continue;
                 }
-                let mut shard = self.shards[shard_idx]
-                    .lock()
-                    .expect("collector shard poisoned");
+                let shard = &self.shards[shard_idx];
+                let before = tally.accepted;
+                let mut acc = shard.acc.lock().expect("collector shard poisoned");
                 for &i in indices {
-                    fold(&mut shard, i);
+                    fold(&mut acc, i, &mut tally);
+                }
+                if tally.accepted > before {
+                    shard.epoch.fetch_add(1, Ordering::Release);
                 }
             }
         }
-        if dropped > 0 {
-            self.dropped.fetch_add(dropped, Ordering::Relaxed);
+        if tally.accepted > 0 {
+            self.accepted
+                .fetch_add(tally.accepted as u64, Ordering::Relaxed);
         }
-        if rejected > 0 {
-            self.rejected.fetch_add(rejected, Ordering::Relaxed);
+        if tally.dropped > 0 {
+            self.dropped.fetch_add(tally.dropped, Ordering::Relaxed);
         }
-        accepted
+        if tally.rejected > 0 {
+            self.rejected.fetch_add(tally.rejected, Ordering::Relaxed);
+        }
+        tally.accepted
     }
 
-    /// Total reports ingested so far, across all shards.
+    /// Total reports accepted so far, across all shards. Served from a
+    /// lock-free monotone counter — reading it neither stalls ingest nor
+    /// risks a torn cross-shard sum (the old implementation locked every
+    /// shard mutex in turn and could still count one in-flight batch
+    /// partially).
     #[must_use]
     pub fn total_reports(&self) -> u64 {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("collector shard poisoned").reports())
-            .sum()
+        self.accepted.load(Ordering::Relaxed)
+    }
+
+    /// The mutation epoch of shard `shard`: advances once per batch that
+    /// changed the shard, so a cached aggregate tagged with the epoch it
+    /// was extracted at can be revalidated without taking the ingest
+    /// mutex.
+    #[must_use]
+    pub fn shard_epoch(&self, shard: usize) -> u64 {
+        self.shards[shard].epoch.load(Ordering::Acquire)
+    }
+
+    /// Locks one shard for state extraction (the query engine's refresh
+    /// path). Callers should hold the guard as briefly as possible — the
+    /// same mutex serializes ingest for that shard.
+    pub(crate) fn lock_shard(&self, shard: usize) -> MutexGuard<'_, ShardAccumulator> {
+        self.shards[shard]
+            .acc
+            .lock()
+            .expect("collector shard poisoned")
     }
 
     /// Reports rejected because their slot index exceeded the configured
@@ -201,7 +255,7 @@ impl Collector {
         CollectorSnapshot::merge(
             self.shards
                 .iter()
-                .map(|s| s.lock().expect("collector shard poisoned")),
+                .map(|s| s.acc.lock().expect("collector shard poisoned")),
         )
     }
 }
@@ -277,6 +331,7 @@ mod tests {
         let c = Collector::new(CollectorConfig {
             shards: 2,
             max_slots: 100,
+            ..CollectorConfig::default()
         });
         let mut b = ReportBatch::new();
         b.push(1, 5, 0.5);
@@ -295,6 +350,7 @@ mod tests {
         let c = Collector::new(CollectorConfig {
             shards: 4,
             max_slots: 10,
+            ..CollectorConfig::default()
         });
         let mut b = ReportBatch::new();
         for u in 0..20u64 {
@@ -332,6 +388,49 @@ mod tests {
             assert!(snap.slots().iter().all(|s| s.sum.is_finite()));
             assert!((snap.slot_mean(0).unwrap() - 0.5).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn retention_bounds_shard_memory_and_keeps_totals() {
+        use crate::accumulator::SlotRetention;
+        let c = Collector::new(CollectorConfig {
+            shards: 2,
+            retention: SlotRetention::Last(8),
+            ..CollectorConfig::default()
+        });
+        let mut b = ReportBatch::new();
+        for slot in 0..200u64 {
+            b.push(slot % 10, slot, 0.5);
+        }
+        assert_eq!(c.ingest(&b), 200);
+        assert_eq!(c.total_reports(), 200);
+        let snap = c.snapshot();
+        assert!(snap.slot_count() <= 8, "retained range bounded by R");
+        assert_eq!(snap.slot_end(), 200);
+        assert_eq!(
+            snap.frozen().count + snap.slots().iter().map(|s| s.count).sum::<u64>(),
+            200,
+            "expired slots fold into frozen, not into the void"
+        );
+    }
+
+    #[test]
+    fn shard_epochs_advance_only_on_accepted_mutations() {
+        let c = Collector::new(config(2));
+        let epochs_at = |c: &Collector| (0..2).map(|k| c.shard_epoch(k)).collect::<Vec<_>>();
+        let before = epochs_at(&c);
+        // A batch that is entirely dropped must not advance any epoch.
+        let mut dropped = ReportBatch::new();
+        dropped.push(1, u64::MAX, 0.5);
+        c.ingest(&dropped);
+        assert_eq!(epochs_at(&c), before);
+        // An accepted batch advances exactly the touched shard's epoch.
+        let mut ok = ReportBatch::new();
+        ok.push(1, 0, 0.5);
+        c.ingest(&ok);
+        let after = epochs_at(&c);
+        let advanced: Vec<_> = (0..2).filter(|&k| after[k] > before[k]).collect();
+        assert_eq!(advanced, vec![c.shard_of(1)]);
     }
 
     #[test]

@@ -31,6 +31,13 @@
 //!   per-user means. Snapshot numbers agree with the offline batch path
 //!   ([`ldp_core::crowd::estimated_population_means`]) — see
 //!   [`ReseedingSession`] and the `tests/` crate's agreement tests.
+//! * [`QueryEngine`] — the **live** query path: per-shard epoch-versioned
+//!   aggregates cached behind an `RwLock`/`Arc` swap, refreshed by
+//!   delta-merging only the shards whose epoch advanced, so crowd queries
+//!   are served in O(window) without ever taking an ingest mutex.
+//! * [`SlotRetention`] — bounds per-slot state to the most recent `R`
+//!   slots per shard (expired slots fold into exact frozen prefix
+//!   totals), so collector memory is O(R) on unbounded streams.
 //! * [`ClientFleet`] — a simulator that drives one
 //!   [`ldp_core::online::OnlineSession`] per user of an
 //!   [`ldp_streams::Population`] across worker threads, for
@@ -68,11 +75,13 @@
 pub mod accumulator;
 pub mod engine;
 pub mod fleet;
+pub mod query;
 pub mod report;
 pub mod snapshot;
 
-pub use accumulator::{ShardAccumulator, SlotStats, UserStats};
+pub use accumulator::{ShardAccumulator, SlotRetention, SlotStats, UserStats};
 pub use engine::{Collector, CollectorConfig};
-pub use fleet::{user_seed, ClientFleet, FleetConfig, ReseedingSession};
+pub use fleet::{user_seed, ClientFleet, FleetConfig, QueryLoadReport, ReseedingSession};
+pub use query::{LiveView, QueryEngine};
 pub use report::{ReportBatch, SlotReport};
-pub use snapshot::CollectorSnapshot;
+pub use snapshot::{CollectorSnapshot, SlotTable};

@@ -1,0 +1,535 @@
+//! The live windowed query engine: crowd statistics off the ingest path.
+//!
+//! [`Collector::snapshot`] locks every shard and re-merges the entire
+//! state on each call — fine for offline experiments, hopeless for a
+//! service answering queries while millions of reports per second stream
+//! in. [`QueryEngine`] decouples the two sides:
+//!
+//! * Every shard carries a lock-free **epoch** that advances when a batch
+//!   mutates it ([`Collector::shard_epoch`]).
+//! * The engine caches one published `ShardAggregate` per shard, tagged
+//!   with the epoch it was extracted at, plus a merged [`LiveView`] of all
+//!   of them behind an `RwLock<Arc<…>>`.
+//! * [`QueryEngine::refresh`] re-extracts and **delta-merges only the
+//!   shards whose epoch advanced** (subtract the shard's old contribution,
+//!   add the new one) — O(changed shards × shard state: retained window +
+//!   that shard's user rows), never O(every shard) — then swaps the `Arc`.
+//!   Unchanged shards cost one atomic load. The shard mutex is held only
+//!   for the raw state copy; derived aggregates are computed after it is
+//!   released.
+//! * Queries clone the current `Arc` and answer from the immutable view:
+//!   O(1) for [`LiveView::slot_mean`] / [`LiveView::population_mean`],
+//!   O(window) for [`LiveView::windowed_mean`]. They never touch a shard
+//!   mutex, so query load cannot stall ingest.
+//!
+//! # Consistency model
+//!
+//! A [`LiveView`] is *per-shard consistent, epoch-bounded stale*: each
+//! shard's contribution is a consistent cut of that shard (extracted under
+//! its lock), different shards may be cut at slightly different instants
+//! (the usual incremental-aggregation tradeoff — exactly the consistency
+//! [`Collector::snapshot`] offers), and a view answers with the state of
+//! the last [`QueryEngine::refresh`], never anything newer. Numbers served
+//! from a fully refreshed view agree with [`Collector::snapshot`] to
+//! floating-point merge-order tolerance (pinned ≤ 1e-9 by the integration
+//! tests).
+
+use crate::accumulator::{ShardAccumulator, SlotStats};
+use crate::engine::Collector;
+use crate::snapshot::{CollectorSnapshot, SlotTable};
+use std::ops::Range;
+use std::sync::{Arc, Mutex, RwLock};
+
+/// One shard's aggregate state as published at a specific epoch: the
+/// shard-side half of the engine's cache.
+#[derive(Debug, Clone, Default)]
+struct ShardAggregate {
+    /// Shard epoch this aggregate was extracted at.
+    epoch: u64,
+    /// Global slot index of `slots[0]`.
+    base: u64,
+    /// Retained per-slot stats, dense from `base`.
+    slots: Vec<SlotStats>,
+    /// Aggregate over the shard's expired slots.
+    frozen: SlotStats,
+    /// `(user id, report count, value sum)`, ascending by id.
+    users: Vec<(u64, u64, f64)>,
+    /// Sum of the shard's per-user running means.
+    mean_sum: f64,
+    /// Reports folded into the shard so far.
+    reports: u64,
+}
+
+impl ShardAggregate {
+    /// Raw state copy — the only work done while the shard's ingest mutex
+    /// is held. Derived aggregates wait for [`Self::finish`].
+    fn copy_raw(acc: &ShardAccumulator, epoch: u64) -> Self {
+        let mut users = Vec::with_capacity(acc.users().len());
+        for (&id, stats) in acc.users() {
+            users.push((id, stats.count, stats.sum));
+        }
+        Self {
+            epoch,
+            base: acc.base(),
+            slots: acc.retained_slots().map(|(_, s)| *s).collect(),
+            frozen: *acc.frozen(),
+            users,
+            mean_sum: 0.0,
+            reports: acc.reports(),
+        }
+    }
+
+    /// Computes the derived per-user mean sum — called after the shard
+    /// lock is released, so the division walk never stalls ingest.
+    fn finish(&mut self) {
+        self.mean_sum = self
+            .users
+            .iter()
+            .map(|&(_, count, sum)| sum / count as f64)
+            .sum();
+    }
+
+    fn slot_end(&self) -> u64 {
+        self.base + self.slots.len() as u64
+    }
+}
+
+/// An immutable, merged view of the collector as of some refresh.
+///
+/// Cheap to share (`Arc`), safe to query from any number of threads, and
+/// guaranteed not to change underneath the caller — repeated queries
+/// against one view are mutually consistent even while ingest continues.
+#[derive(Debug, Default)]
+pub struct LiveView {
+    /// Monotone refresh counter (0 for the pre-first-refresh empty view).
+    version: u64,
+    /// The merged slot-query core (shared type with
+    /// [`CollectorSnapshot`], so the two paths answer identically).
+    table: SlotTable,
+    total_reports: u64,
+    user_count: usize,
+    mean_sum: f64,
+    shards: Vec<Arc<ShardAggregate>>,
+}
+
+impl LiveView {
+    /// Monotone refresh version this view was published at.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Total reports merged into this view.
+    #[must_use]
+    pub fn total_reports(&self) -> u64 {
+        self.total_reports
+    }
+
+    /// Number of distinct users seen.
+    #[must_use]
+    pub fn user_count(&self) -> usize {
+        self.user_count
+    }
+
+    /// The merged slot-query core (base, retained stats, frozen prefix).
+    #[must_use]
+    pub fn table(&self) -> &SlotTable {
+        &self.table
+    }
+
+    /// Global index of the first retained slot.
+    #[must_use]
+    pub fn retained_base(&self) -> u64 {
+        self.table.retained_base()
+    }
+
+    /// One past the highest slot covered.
+    #[must_use]
+    pub fn slot_end(&self) -> u64 {
+        self.table.slot_end()
+    }
+
+    /// Number of retained slots.
+    #[must_use]
+    pub fn slot_count(&self) -> usize {
+        self.table.slot_count()
+    }
+
+    /// Aggregate over every expired slot below [`Self::retained_base`].
+    #[must_use]
+    pub fn frozen(&self) -> &SlotStats {
+        self.table.frozen()
+    }
+
+    /// Stats for one global slot, or `None` outside the retained range.
+    #[must_use]
+    pub fn slot_stats(&self, slot: u64) -> Option<&SlotStats> {
+        self.table.slot_stats(slot)
+    }
+
+    /// Crowd mean estimate for one slot — O(1).
+    #[must_use]
+    pub fn slot_mean(&self, slot: usize) -> Option<f64> {
+        self.table.slot_mean(slot)
+    }
+
+    /// Crowd variance estimate for one slot — O(1).
+    #[must_use]
+    pub fn slot_variance(&self, slot: usize) -> Option<f64> {
+        self.table.slot_variance(slot)
+    }
+
+    /// Windowed subsequence mean over `range` — O(window). `None` if any
+    /// slot of the range is unreported or expired (same contract as
+    /// [`CollectorSnapshot::windowed_mean`] — both delegate to the shared
+    /// [`SlotTable`]).
+    #[must_use]
+    pub fn windowed_mean(&self, range: Range<usize>) -> Option<f64> {
+        self.table.windowed_mean(range)
+    }
+
+    /// The headline population-mean estimate (average of per-user means),
+    /// or `None` before any user reported — O(1): the per-shard mean sums
+    /// are pre-aggregated at extraction.
+    #[must_use]
+    pub fn population_mean(&self) -> Option<f64> {
+        (self.user_count > 0).then(|| self.mean_sum / self.user_count as f64)
+    }
+
+    /// The per-shard user rows gathered into one id-sorted list (shards
+    /// own disjoint users, so concatenation never collides).
+    fn merged_user_rows(&self) -> Vec<(u64, u64, f64)> {
+        let mut rows: Vec<(u64, u64, f64)> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.users.iter().copied())
+            .collect();
+        rows.sort_unstable_by_key(|&(id, _, _)| id);
+        rows
+    }
+
+    /// Each user's running mean estimate, ordered by user id — the
+    /// crowd-level distribution query. O(U log U) on demand; the
+    /// per-shard rows are already extracted, so this still takes no lock.
+    #[must_use]
+    pub fn per_user_means(&self) -> Vec<f64> {
+        self.merged_user_rows()
+            .into_iter()
+            .map(|(_, count, sum)| sum / count as f64)
+            .collect()
+    }
+
+    /// Materializes the view as a [`CollectorSnapshot`] — the full merged
+    /// structure, built without locking a single shard.
+    #[must_use]
+    pub fn to_snapshot(&self) -> CollectorSnapshot {
+        CollectorSnapshot::from_parts(
+            self.table.clone(),
+            self.merged_user_rows(),
+            self.total_reports,
+        )
+    }
+}
+
+/// The live query engine over a [`Collector`] (see the module docs for
+/// the architecture). Create one per collector and share it by reference;
+/// any number of query threads may call [`Self::view`] / the query
+/// delegates while others call [`Self::refresh`].
+#[derive(Debug)]
+pub struct QueryEngine<'c> {
+    collector: &'c Collector,
+    view: RwLock<Arc<LiveView>>,
+    /// Serializes refreshers so concurrent refreshes cannot interleave
+    /// their subtract/add passes or publish out of order.
+    refresh: Mutex<()>,
+}
+
+impl<'c> QueryEngine<'c> {
+    /// Creates an engine over `collector` and publishes an initial view
+    /// (one refresh, so pre-existing state is visible immediately).
+    #[must_use]
+    pub fn new(collector: &'c Collector) -> Self {
+        let empty = LiveView {
+            shards: (0..collector.shard_count())
+                .map(|_| Arc::new(ShardAggregate::default()))
+                .collect(),
+            ..LiveView::default()
+        };
+        let engine = Self {
+            collector,
+            view: RwLock::new(Arc::new(empty)),
+            refresh: Mutex::new(()),
+        };
+        engine.refresh();
+        engine
+    }
+
+    /// The collector this engine serves.
+    #[must_use]
+    pub fn collector(&self) -> &'c Collector {
+        self.collector
+    }
+
+    /// The current published view (an `Arc` clone — O(1), never blocks on
+    /// an ingest mutex).
+    #[must_use]
+    pub fn view(&self) -> Arc<LiveView> {
+        self.view.read().expect("query view poisoned").clone()
+    }
+
+    /// Re-publishes the merged view by delta-merging every shard whose
+    /// epoch advanced since it was last extracted. Returns the number of
+    /// shards that were re-published (0 means the view was already
+    /// current and nothing was swapped).
+    ///
+    /// Cost: O(changed shards × shard state) for extraction plus
+    /// O(retained window) to realign the merged vector; shards that did
+    /// not change are revalidated with one atomic load each.
+    pub fn refresh(&self) -> usize {
+        let _serialize = self.refresh.lock().expect("refresh lock poisoned");
+        let cur = self.view();
+
+        // Extract the shards whose epoch moved. The epoch is re-read under
+        // the shard lock so it is exactly paired with the extracted state;
+        // only the raw copy happens inside the lock, the derived per-user
+        // mean sum is computed after release.
+        let mut changed: Vec<(usize, ShardAggregate)> = Vec::new();
+        for k in 0..self.collector.shard_count() {
+            if self.collector.shard_epoch(k) != cur.shards[k].epoch {
+                let guard = self.collector.lock_shard(k);
+                let epoch = self.collector.shard_epoch(k);
+                let mut agg = ShardAggregate::copy_raw(&guard, epoch);
+                drop(guard);
+                agg.finish();
+                changed.push((k, agg));
+            }
+        }
+        if changed.is_empty() {
+            return 0;
+        }
+        let refreshed = changed.len();
+
+        // Delta pass 1: subtract the changed shards' old contributions
+        // from a copy of the merged table and swap in the new aggregates.
+        let mut table = cur.table.clone();
+        let mut shards = cur.shards.clone();
+        for (k, agg) in changed {
+            let old = &shards[k];
+            table.unmerge_from(old.base, &old.slots, &old.frozen);
+            shards[k] = Arc::new(agg);
+        }
+
+        // Realign the merged range to the new aggregates: the base is the
+        // largest shard base (the first slot every shard still retains),
+        // the end the largest shard end.
+        let new_base = shards.iter().map(|a| a.base).max().unwrap_or(0);
+        let new_end = shards.iter().map(|a| a.slot_end()).max().unwrap_or(0);
+        table.realign(new_base, new_end);
+
+        // Delta pass 2: add the new aggregates of the changed shards
+        // (identified by pointer inequality with the previous view).
+        for (k, agg) in shards.iter().enumerate() {
+            if !Arc::ptr_eq(agg, &cur.shards[k]) {
+                table.merge_from(agg.base, &agg.slots, &agg.frozen);
+            }
+        }
+
+        // Scalar totals are O(shards) to recompute — no drift to manage.
+        let total_reports = shards.iter().map(|a| a.reports).sum();
+        let user_count = shards.iter().map(|a| a.users.len()).sum();
+        let mean_sum = shards.iter().map(|a| a.mean_sum).sum();
+
+        let next = Arc::new(LiveView {
+            version: cur.version + 1,
+            table,
+            total_reports,
+            user_count,
+            mean_sum,
+            shards,
+        });
+        *self.view.write().expect("query view poisoned") = next;
+        refreshed
+    }
+
+    // Convenience delegates answering from the *current* view (possibly
+    // one refresh stale — call `refresh` first for the freshest answer).
+
+    /// See [`LiveView::slot_mean`].
+    #[must_use]
+    pub fn slot_mean(&self, slot: usize) -> Option<f64> {
+        self.view().slot_mean(slot)
+    }
+
+    /// See [`LiveView::windowed_mean`].
+    #[must_use]
+    pub fn windowed_mean(&self, range: Range<usize>) -> Option<f64> {
+        self.view().windowed_mean(range)
+    }
+
+    /// See [`LiveView::population_mean`].
+    #[must_use]
+    pub fn population_mean(&self) -> Option<f64> {
+        self.view().population_mean()
+    }
+
+    /// See [`LiveView::per_user_means`].
+    #[must_use]
+    pub fn per_user_means(&self) -> Vec<f64> {
+        self.view().per_user_means()
+    }
+}
+
+impl Collector {
+    /// Creates a [`QueryEngine`] over this collector (convenience for
+    /// `QueryEngine::new(&collector)`).
+    #[must_use]
+    pub fn query_engine(&self) -> QueryEngine<'_> {
+        QueryEngine::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accumulator::SlotRetention;
+    use crate::engine::CollectorConfig;
+    use crate::report::ReportBatch;
+
+    fn collector(shards: usize, retention: SlotRetention) -> Collector {
+        Collector::new(CollectorConfig {
+            shards,
+            retention,
+            ..CollectorConfig::default()
+        })
+    }
+
+    fn batch(reports: &[(u64, u64, f64)]) -> ReportBatch {
+        let mut b = ReportBatch::new();
+        for &(user, slot, value) in reports {
+            b.push(user, slot, value);
+        }
+        b
+    }
+
+    #[test]
+    fn fresh_engine_sees_preexisting_state() {
+        let c = collector(3, SlotRetention::Unbounded);
+        c.ingest(&batch(&[(1, 0, 0.5), (2, 0, 0.7), (3, 1, 0.1)]));
+        let engine = c.query_engine();
+        let view = engine.view();
+        assert_eq!(view.total_reports(), 3);
+        assert_eq!(view.user_count(), 3);
+        assert!((view.slot_mean(0).unwrap() - 0.6).abs() < 1e-12);
+        assert!(view.version() >= 1);
+    }
+
+    #[test]
+    fn refresh_is_noop_when_nothing_changed() {
+        let c = collector(4, SlotRetention::Unbounded);
+        c.ingest(&batch(&[(1, 0, 0.5)]));
+        let engine = c.query_engine();
+        let v1 = engine.view().version();
+        assert_eq!(engine.refresh(), 0, "no epoch moved");
+        assert_eq!(engine.view().version(), v1, "view not re-published");
+    }
+
+    #[test]
+    fn refresh_republishes_only_changed_shards() {
+        let c = collector(4, SlotRetention::Unbounded);
+        c.ingest(&batch(&[(1, 0, 0.5), (2, 0, 0.7), (9, 1, 0.3)]));
+        let engine = c.query_engine();
+        // One more batch touching a single user → a single shard.
+        c.ingest(&batch(&[(1, 1, 0.9)]));
+        assert_eq!(engine.refresh(), 1);
+        let view = engine.view();
+        assert_eq!(view.total_reports(), 4);
+        assert!((view.slot_mean(0).unwrap() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn view_matches_snapshot_after_refresh() {
+        let c = collector(5, SlotRetention::Unbounded);
+        for round in 0..10u64 {
+            let mut b = ReportBatch::new();
+            for user in 0..40u64 {
+                b.push(user, round, (user as f64 % 7.0) / 7.0);
+            }
+            c.ingest(&b);
+        }
+        let engine = c.query_engine();
+        let view = engine.view();
+        let snap = c.snapshot();
+        assert_eq!(view.total_reports(), snap.total_reports());
+        assert_eq!(view.user_count(), snap.user_count());
+        assert_eq!(view.slot_end(), snap.slot_end());
+        for slot in 0..10 {
+            assert!(
+                (view.slot_mean(slot).unwrap() - snap.slot_mean(slot).unwrap()).abs() < 1e-12,
+                "slot {slot}"
+            );
+        }
+        assert!((view.population_mean().unwrap() - snap.population_mean().unwrap()).abs() < 1e-12);
+        assert_eq!(view.per_user_means().len(), snap.per_user_means().len());
+        for (a, b) in view.per_user_means().iter().zip(snap.per_user_means()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        // And the lock-free materialization agrees field-for-field.
+        let mat = view.to_snapshot();
+        assert_eq!(mat.total_reports(), snap.total_reports());
+        assert_eq!(mat.per_user_means(), snap.per_user_means());
+    }
+
+    #[test]
+    fn incremental_refreshes_track_a_sliding_retention_window() {
+        let c = collector(3, SlotRetention::Last(5));
+        let engine = c.query_engine();
+        for slot in 0..50u64 {
+            let mut b = ReportBatch::new();
+            for user in 0..12u64 {
+                b.push(user, slot, 0.25 + (slot % 4) as f64 * 0.1);
+            }
+            c.ingest(&b);
+            engine.refresh();
+        }
+        let view = engine.view();
+        let snap = c.snapshot();
+        assert_eq!(view.retained_base(), snap.retained_base());
+        assert_eq!(view.slot_end(), 50);
+        assert!(view.slot_count() <= 5);
+        for slot in view.retained_base()..view.slot_end() {
+            let (a, b) = (
+                view.slot_mean(slot as usize).unwrap(),
+                snap.slot_mean(slot as usize).unwrap(),
+            );
+            assert!((a - b).abs() < 1e-9, "slot {slot}: {a} vs {b}");
+        }
+        assert_eq!(view.frozen().count, snap.frozen().count);
+        assert!((view.frozen().sum - snap.frozen().sum).abs() < 1e-6);
+        assert_eq!(view.slot_mean(0), None, "expired slots are gone");
+    }
+
+    #[test]
+    fn views_are_stable_while_ingest_continues() {
+        let c = collector(2, SlotRetention::Unbounded);
+        c.ingest(&batch(&[(1, 0, 0.5)]));
+        let engine = c.query_engine();
+        let view = engine.view();
+        let before = view.total_reports();
+        c.ingest(&batch(&[(2, 0, 0.9)]));
+        engine.refresh();
+        assert_eq!(view.total_reports(), before, "old view is immutable");
+        assert_eq!(engine.view().total_reports(), before + 1);
+    }
+
+    #[test]
+    fn empty_collector_yields_a_well_defined_view() {
+        let c = collector(2, SlotRetention::Unbounded);
+        let engine = c.query_engine();
+        let view = engine.view();
+        assert_eq!(view.total_reports(), 0);
+        assert_eq!(view.population_mean(), None);
+        assert_eq!(view.slot_mean(0), None);
+        assert_eq!(view.windowed_mean(0..4), None);
+        assert!(view.per_user_means().is_empty());
+    }
+}

@@ -3,115 +3,85 @@
 use crate::accumulator::{ShardAccumulator, SlotStats};
 use std::ops::Range;
 
-/// A consistent-per-shard, merged view of the collector at some instant.
-///
-/// Answers the crowd-level queries of the paper's evaluation:
-/// per-slot mean estimates (stream publication), windowed subsequence
-/// means (mean estimation), and the distribution of per-user means
-/// (crowd-level statistics, Theorem 5).
-#[derive(Debug, Clone)]
-pub struct CollectorSnapshot {
+/// A dense per-slot stats table anchored at a retained base, plus the
+/// frozen aggregate of everything below it — the slot-query core shared
+/// by [`CollectorSnapshot`] and the live [`crate::LiveView`], so the two
+/// paths can never drift in their windowed-query or base-alignment
+/// semantics.
+#[derive(Debug, Clone, Default)]
+pub struct SlotTable {
+    /// Global slot index of `slots[0]`.
+    base: u64,
     slots: Vec<SlotStats>,
-    /// `(user id, report count, value sum)` ordered by user id.
-    users: Vec<(u64, u64, f64)>,
-    total_reports: u64,
+    /// Aggregate over every slot below `base` (expired under retention).
+    frozen: SlotStats,
 }
 
-impl CollectorSnapshot {
-    /// Merges shard states into one view. Shards own disjoint users, so
-    /// user lists concatenate; slot stats fold index-wise.
-    ///
-    /// Accepts anything dereferencing to [`ShardAccumulator`] — plain
-    /// references or mutex guards — and visits each item exactly once, so
-    /// the engine can feed it lock guards one shard at a time.
+impl SlotTable {
+    /// Builds a table from its parts (`slots[i]` covers global slot
+    /// `base + i`).
     #[must_use]
-    pub fn merge<I>(shards: I) -> Self
-    where
-        I: IntoIterator,
-        I::Item: std::ops::Deref<Target = ShardAccumulator>,
-    {
-        let mut slots: Vec<SlotStats> = Vec::new();
-        let mut users: Vec<(u64, u64, f64)> = Vec::new();
-        let mut total_reports = 0;
-        for shard in shards {
-            if shard.slot_count() > slots.len() {
-                slots.resize(shard.slot_count(), SlotStats::default());
-            }
-            for (i, s) in shard.slots().iter().enumerate() {
-                slots[i].merge(s);
-            }
-            for (&id, stats) in shard.users() {
-                users.push((id, stats.count, stats.sum));
-            }
-            total_reports += shard.reports();
-        }
-        users.sort_unstable_by_key(|&(id, _, _)| id);
-        Self::from_parts(slots, users, total_reports)
-    }
-
-    /// Builds a snapshot from already-merged parts: dense per-slot stats
-    /// and `(user id, report count, value sum)` rows sorted by user id
-    /// (the engine's lock-friendly snapshot path).
-    #[must_use]
-    pub fn from_parts(
-        slots: Vec<SlotStats>,
-        users: Vec<(u64, u64, f64)>,
-        total_reports: u64,
-    ) -> Self {
-        debug_assert!(
-            users.windows(2).all(|w| w[0].0 < w[1].0),
-            "user rows must be sorted and unique"
-        );
+    pub fn new(base: u64, slots: Vec<SlotStats>, frozen: SlotStats) -> Self {
         Self {
+            base,
             slots,
-            users,
-            total_reports,
+            frozen,
         }
     }
 
-    /// Total reports aggregated into this snapshot.
+    /// Global index of the first retained slot.
     #[must_use]
-    pub fn total_reports(&self) -> u64 {
-        self.total_reports
+    pub fn retained_base(&self) -> u64 {
+        self.base
     }
 
-    /// Number of distinct users seen.
+    /// One past the highest slot covered.
     #[must_use]
-    pub fn user_count(&self) -> usize {
-        self.users.len()
+    pub fn slot_end(&self) -> u64 {
+        self.base + self.slots.len() as u64
     }
 
-    /// Dense slot range covered (highest reported slot + 1).
+    /// Number of retained slots.
     #[must_use]
     pub fn slot_count(&self) -> usize {
         self.slots.len()
     }
 
-    /// Per-slot stats (dense, indexed by slot).
+    /// The retained per-slot stats, dense from [`Self::retained_base`].
     #[must_use]
     pub fn slots(&self) -> &[SlotStats] {
         &self.slots
     }
 
-    /// Crowd mean estimate for one slot (`None` if nobody reported it).
+    /// Aggregate over every expired slot below [`Self::retained_base`].
+    #[must_use]
+    pub fn frozen(&self) -> &SlotStats {
+        &self.frozen
+    }
+
+    /// Stats for one global slot, or `None` outside the retained range.
+    #[must_use]
+    pub fn slot_stats(&self, slot: u64) -> Option<&SlotStats> {
+        let i = usize::try_from(slot.checked_sub(self.base)?).ok()?;
+        self.slots.get(i)
+    }
+
+    /// Crowd mean estimate for one slot (`None` if nobody reported it or
+    /// the slot has expired out of the retained range).
     #[must_use]
     pub fn slot_mean(&self, slot: usize) -> Option<f64> {
-        self.slots.get(slot).and_then(SlotStats::mean)
+        self.slot_stats(slot as u64).and_then(SlotStats::mean)
     }
 
     /// Crowd variance estimate for one slot.
     #[must_use]
     pub fn slot_variance(&self, slot: usize) -> Option<f64> {
-        self.slots.get(slot).and_then(SlotStats::variance)
+        self.slot_stats(slot as u64).and_then(SlotStats::variance)
     }
 
-    /// Windowed subsequence mean: the average over `range` of the per-slot
-    /// crowd means — the collector-side estimate of the population's
-    /// average subsequence mean `M̂(i,j)`. When every user reports every
-    /// slot of the range this equals the average of the per-user means the
-    /// offline batch path computes, up to floating-point summation order.
-    ///
-    /// Returns `None` if any slot in the range has no reports.
+    /// Windowed subsequence mean: the average over `range` of the
+    /// per-slot crowd means. `None` if any slot of the range has no
+    /// reports or has expired out of the retained range.
     #[must_use]
     pub fn windowed_mean(&self, range: Range<usize>) -> Option<f64> {
         if range.is_empty() {
@@ -123,6 +93,238 @@ impl CollectorSnapshot {
             sum += self.slot_mean(slot)?;
         }
         Some(sum / len as f64)
+    }
+
+    /// Re-anchors the table at `new_base` (folding slots that fall below
+    /// it into the frozen aggregate) and extends the dense range to
+    /// `new_end`. Anchors only move forward; a smaller `new_base` is
+    /// ignored.
+    pub(crate) fn realign(&mut self, new_base: u64, new_end: u64) {
+        if new_base > self.base {
+            let expire = usize::try_from(new_base - self.base)
+                .expect("slot range overflows usize")
+                .min(self.slots.len());
+            for s in self.slots.drain(..expire) {
+                self.frozen.merge(&s);
+            }
+            self.base = new_base;
+        }
+        let end = new_end.max(self.base);
+        let retained = usize::try_from(end - self.base).expect("slot range overflows usize");
+        if retained > self.slots.len() {
+            self.slots.resize(retained, SlotStats::default());
+        }
+    }
+
+    /// Folds another table's contribution in. Slots below this table's
+    /// base land in the frozen aggregate; callers must have
+    /// [`Self::realign`]ed far enough that nothing lies past the end.
+    pub(crate) fn merge_from(&mut self, base: u64, slots: &[SlotStats], frozen: &SlotStats) {
+        self.frozen.merge(frozen);
+        for (i, s) in slots.iter().enumerate() {
+            let global = base + i as u64;
+            if global < self.base {
+                self.frozen.merge(s);
+            } else {
+                self.slots[(global - self.base) as usize].merge(s);
+            }
+        }
+    }
+
+    /// Removes a contribution previously folded in by
+    /// [`Self::merge_from`] (possibly realigned into the frozen prefix
+    /// since).
+    pub(crate) fn unmerge_from(&mut self, base: u64, slots: &[SlotStats], frozen: &SlotStats) {
+        self.frozen.unmerge(frozen);
+        for (i, s) in slots.iter().enumerate() {
+            let global = base + i as u64;
+            if global < self.base {
+                self.frozen.unmerge(s);
+            } else {
+                self.slots[(global - self.base) as usize].unmerge(s);
+            }
+        }
+    }
+}
+
+/// A consistent-per-shard, merged view of the collector at some instant.
+///
+/// Answers the crowd-level queries of the paper's evaluation:
+/// per-slot mean estimates (stream publication), windowed subsequence
+/// means (mean estimation), and the distribution of per-user means
+/// (crowd-level statistics, Theorem 5).
+///
+/// Under a bounded [`crate::SlotRetention`] policy the snapshot covers the
+/// retained slot range `[retained_base, slot_end)`; slots that expired
+/// before the snapshot survive only inside [`Self::frozen`], an exact
+/// aggregate of everything below the base, so lifetime totals never drift
+/// while per-slot queries are bounded to the live window.
+#[derive(Debug, Clone, Default)]
+pub struct CollectorSnapshot {
+    table: SlotTable,
+    /// `(user id, report count, value sum)` ordered by user id.
+    users: Vec<(u64, u64, f64)>,
+    total_reports: u64,
+}
+
+impl CollectorSnapshot {
+    /// Merges shard states into one view. Shards own disjoint users, so
+    /// user lists concatenate; slot stats fold index-wise over the global
+    /// slot range.
+    ///
+    /// Shards under retention may have advanced their bases unevenly (each
+    /// slides on the slots *it* saw). The merged view is anchored at the
+    /// **largest** shard base — the first slot every shard still fully
+    /// retains — and any retained slot below that folds into the frozen
+    /// prefix, so a slot the snapshot reports is never missing one shard's
+    /// contribution.
+    ///
+    /// Accepts anything dereferencing to [`ShardAccumulator`] — plain
+    /// references or mutex guards — and visits each item exactly once, so
+    /// the engine can feed it lock guards one shard at a time.
+    #[must_use]
+    pub fn merge<I>(shards: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: std::ops::Deref<Target = ShardAccumulator>,
+    {
+        // Extraction pass: copy each shard's state out while its guard is
+        // held, releasing it before the next shard is visited.
+        struct Part {
+            base: u64,
+            slots: Vec<SlotStats>,
+            frozen: SlotStats,
+        }
+        let mut parts: Vec<Part> = Vec::new();
+        let mut users: Vec<(u64, u64, f64)> = Vec::new();
+        let mut total_reports = 0;
+        for shard in shards {
+            parts.push(Part {
+                base: shard.base(),
+                slots: shard.retained_slots().map(|(_, s)| *s).collect(),
+                frozen: *shard.frozen(),
+            });
+            for (&id, stats) in shard.users() {
+                users.push((id, stats.count, stats.sum));
+            }
+            total_reports += shard.reports();
+        }
+
+        // Merge pass: align every shard at the largest base.
+        let base = parts.iter().map(|p| p.base).max().unwrap_or(0);
+        let end = parts
+            .iter()
+            .map(|p| p.base + p.slots.len() as u64)
+            .max()
+            .unwrap_or(0)
+            .max(base);
+        let mut table = SlotTable::default();
+        table.realign(base, end);
+        for p in &parts {
+            table.merge_from(p.base, &p.slots, &p.frozen);
+        }
+        users.sort_unstable_by_key(|&(id, _, _)| id);
+        Self::from_parts(table, users, total_reports)
+    }
+
+    /// Builds a snapshot from already-merged parts: the slot table and
+    /// `(user id, report count, value sum)` rows sorted by user id (the
+    /// query engine's lock-free materialization path).
+    #[must_use]
+    pub fn from_parts(table: SlotTable, users: Vec<(u64, u64, f64)>, total_reports: u64) -> Self {
+        debug_assert!(
+            users.windows(2).all(|w| w[0].0 < w[1].0),
+            "user rows must be sorted and unique"
+        );
+        Self {
+            table,
+            users,
+            total_reports,
+        }
+    }
+
+    /// Total reports aggregated into this snapshot (retained + frozen).
+    #[must_use]
+    pub fn total_reports(&self) -> u64 {
+        self.total_reports
+    }
+
+    /// Number of distinct users seen.
+    #[must_use]
+    pub fn user_count(&self) -> usize {
+        self.users.len()
+    }
+
+    /// The slot-query core (base, retained stats, frozen prefix).
+    #[must_use]
+    pub fn table(&self) -> &SlotTable {
+        &self.table
+    }
+
+    /// Global index of the first retained slot (0 unless retention has
+    /// expired older slots).
+    #[must_use]
+    pub fn retained_base(&self) -> u64 {
+        self.table.retained_base()
+    }
+
+    /// One past the highest slot covered (`retained_base + slot_count`).
+    #[must_use]
+    pub fn slot_end(&self) -> u64 {
+        self.table.slot_end()
+    }
+
+    /// Number of retained slots (the dense range `[retained_base,
+    /// slot_end)`).
+    #[must_use]
+    pub fn slot_count(&self) -> usize {
+        self.table.slot_count()
+    }
+
+    /// Per-slot stats for the retained range, dense from
+    /// [`Self::retained_base`].
+    #[must_use]
+    pub fn slots(&self) -> &[SlotStats] {
+        self.table.slots()
+    }
+
+    /// Aggregate over every expired slot below [`Self::retained_base`]
+    /// (empty unless a bounded retention policy is active).
+    #[must_use]
+    pub fn frozen(&self) -> &SlotStats {
+        self.table.frozen()
+    }
+
+    /// Stats for one global slot, or `None` outside the retained range.
+    #[must_use]
+    pub fn slot_stats(&self, slot: u64) -> Option<&SlotStats> {
+        self.table.slot_stats(slot)
+    }
+
+    /// Crowd mean estimate for one slot (`None` if nobody reported it or
+    /// the slot has expired out of the retained range).
+    #[must_use]
+    pub fn slot_mean(&self, slot: usize) -> Option<f64> {
+        self.table.slot_mean(slot)
+    }
+
+    /// Crowd variance estimate for one slot.
+    #[must_use]
+    pub fn slot_variance(&self, slot: usize) -> Option<f64> {
+        self.table.slot_variance(slot)
+    }
+
+    /// Windowed subsequence mean: the average over `range` of the per-slot
+    /// crowd means — the collector-side estimate of the population's
+    /// average subsequence mean `M̂(i,j)`. When every user reports every
+    /// slot of the range this equals the average of the per-user means the
+    /// offline batch path computes, up to floating-point summation order.
+    ///
+    /// Returns `None` if any slot in the range has no reports or has
+    /// expired out of the retained range.
+    #[must_use]
+    pub fn windowed_mean(&self, range: Range<usize>) -> Option<f64> {
+        self.table.windowed_mean(range)
     }
 
     /// User ids seen, ascending.
@@ -144,20 +346,22 @@ impl CollectorSnapshot {
     }
 
     /// The average of the per-user means: the headline population-mean
-    /// estimate (0 when no users reported).
+    /// estimate, or `None` when no user has reported yet (distinguishable
+    /// from a true zero mean).
     #[must_use]
-    pub fn population_mean(&self) -> f64 {
+    pub fn population_mean(&self) -> Option<f64> {
         if self.users.is_empty() {
-            return 0.0;
+            return None;
         }
         let means = self.per_user_means();
-        means.iter().sum::<f64>() / means.len() as f64
+        Some(means.iter().sum::<f64>() / means.len() as f64)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::accumulator::SlotRetention;
     use crate::report::SlotReport;
 
     fn shard_with(reports: &[(u64, u64, f64)]) -> ShardAccumulator {
@@ -176,13 +380,14 @@ mod tests {
         assert_eq!(snap.total_reports(), 4);
         assert_eq!(snap.user_count(), 2);
         assert_eq!(snap.slot_count(), 2);
+        assert_eq!(snap.retained_base(), 0);
         assert!((snap.slot_mean(0).unwrap() - 0.4).abs() < 1e-12);
         assert!((snap.slot_mean(1).unwrap() - 0.6).abs() < 1e-12);
         assert_eq!(snap.user_ids(), vec![0, 1]);
         let means = snap.per_user_means();
         assert!((means[0] - 0.3).abs() < 1e-12);
         assert!((means[1] - 0.7).abs() < 1e-12);
-        assert!((snap.population_mean() - 0.5).abs() < 1e-12);
+        assert!((snap.population_mean().unwrap() - 0.5).abs() < 1e-12);
     }
 
     #[test]
@@ -200,11 +405,13 @@ mod tests {
 
     #[test]
     fn empty_snapshot_is_well_defined() {
-        let snap = CollectorSnapshot::merge(&[]);
+        let snap = CollectorSnapshot::merge(&[] as &[ShardAccumulator]);
         assert_eq!(snap.total_reports(), 0);
         assert_eq!(snap.slot_mean(0), None);
-        assert_eq!(snap.population_mean(), 0.0);
+        assert_eq!(snap.population_mean(), None, "no users ≠ zero mean");
         assert!(snap.per_user_means().is_empty());
+        assert_eq!(snap.retained_base(), 0);
+        assert_eq!(snap.slot_end(), 0);
     }
 
     #[test]
@@ -215,5 +422,36 @@ mod tests {
         assert_eq!(snap.slot_count(), 10);
         assert_eq!(snap.slot_mean(5), None);
         assert!((snap.slot_variance(9).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uneven_shard_bases_anchor_at_the_largest() {
+        let mut a = ShardAccumulator::with_retention(SlotRetention::Last(3));
+        let mut b = ShardAccumulator::with_retention(SlotRetention::Last(3));
+        for slot in 0..10u64 {
+            a.ingest_parts(0, slot, 1.0); // base advances to 7
+        }
+        for slot in 0..6u64 {
+            b.ingest_parts(1, slot, 0.0); // base advances to 3
+        }
+        let snap = CollectorSnapshot::merge(&[a, b]);
+        assert_eq!(snap.retained_base(), 7);
+        assert_eq!(snap.slot_end(), 10);
+        // b's retained slots 3..6 fell below the merged base → frozen.
+        assert_eq!(snap.frozen().count, 7 + 6);
+        assert_eq!(snap.total_reports(), 16);
+        assert_eq!(snap.slot_mean(6), None, "below merged base");
+        assert!((snap.slot_mean(7).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frozen_plus_retained_counts_conserve_totals() {
+        let mut a = ShardAccumulator::with_retention(SlotRetention::Last(4));
+        for slot in 0..25u64 {
+            a.ingest_parts(slot % 3, slot, 0.5);
+        }
+        let snap = CollectorSnapshot::merge(&[a]);
+        let retained: u64 = snap.slots().iter().map(|s| s.count).sum();
+        assert_eq!(snap.frozen().count + retained, snap.total_reports());
     }
 }

@@ -6,13 +6,32 @@
 //! those schedules explicit and lets tests assert Definition 3's
 //! requirement: the spend inside *every* window of `w` slots sums to at
 //! most ε.
+//!
+//! Only the last `w` spends ever matter for the guarantee, so the ledger
+//! is an O(w) ring buffer with an incrementally maintained window sum and
+//! running maximum: memory stays flat no matter how long the session runs
+//! and [`WEventAccountant::max_window_spend`] is O(1) instead of a rescan
+//! of the whole stream history.
 
-/// Ledger of per-time-slot privacy spends.
+/// Ledger of per-time-slot privacy spends over a sliding window.
+///
+/// Internally a ring buffer of the last `w` spends: [`Self::record`] adds
+/// the new slot to the window sum, retires the spend that slid out, and
+/// folds the sum into a running maximum — the exact sliding-sum recurrence
+/// a full-history scan would compute, so the reported maximum is
+/// bit-identical to the unbounded-ledger implementation it replaced.
 #[derive(Debug, Clone)]
 pub struct WEventAccountant {
     w: usize,
     budget: f64,
-    spends: Vec<f64>,
+    /// Last `min(len, w)` spends; slot `i`'s spend lives at `i % w`.
+    ring: Vec<f64>,
+    /// Total slots recorded over the session lifetime.
+    len: usize,
+    /// Spend of the current (trailing) window of up to `w` slots.
+    window_sum: f64,
+    /// Largest trailing-window spend seen so far.
+    max_spend: f64,
 }
 
 impl WEventAccountant {
@@ -30,7 +49,10 @@ impl WEventAccountant {
         Self {
             w,
             budget,
-            spends: Vec::new(),
+            ring: Vec::new(),
+            len: 0,
+            window_sum: 0.0,
+            max_spend: 0.0,
         }
     }
 
@@ -49,39 +71,44 @@ impl WEventAccountant {
     /// Records the spend of the next time slot (0 for slots with no report).
     pub fn record(&mut self, epsilon: f64) {
         assert!(epsilon >= 0.0 && epsilon.is_finite(), "invalid spend");
-        self.spends.push(epsilon);
+        self.window_sum += epsilon;
+        if self.len >= self.w {
+            // The slot `w` steps back slides out of the window; its spend
+            // occupies the ring cell the new slot is about to claim.
+            self.window_sum -= self.ring[self.len % self.w];
+            self.ring[self.len % self.w] = epsilon;
+        } else {
+            self.ring.push(epsilon);
+        }
+        self.len += 1;
+        self.max_spend = self.max_spend.max(self.window_sum);
     }
 
     /// Number of recorded slots.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.spends.len()
+        self.len
     }
 
     /// Whether no slot has been recorded.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.spends.is_empty()
+        self.len == 0
+    }
+
+    /// Spend of the current trailing window (the last `min(len, w)` slots).
+    #[must_use]
+    pub fn current_window_spend(&self) -> f64 {
+        self.window_sum
     }
 
     /// The largest spend over any window of `w` consecutive slots
     /// (windows shorter than `w` at the stream tail are included — their
-    /// spend is dominated by some full window anyway).
+    /// spend is dominated by some full window anyway). O(1): the maximum
+    /// is maintained incrementally by [`Self::record`].
     #[must_use]
     pub fn max_window_spend(&self) -> f64 {
-        if self.spends.is_empty() {
-            return 0.0;
-        }
-        let mut best = 0.0f64;
-        let mut sum = 0.0f64;
-        for i in 0..self.spends.len() {
-            sum += self.spends[i];
-            if i >= self.w {
-                sum -= self.spends[i - self.w];
-            }
-            best = best.max(sum);
-        }
-        best
+        self.max_spend
     }
 
     /// Whether every window respects the budget (with a small floating-
@@ -154,5 +181,50 @@ mod tests {
     fn negative_spend_panics() {
         let mut acc = WEventAccountant::new(2, 1.0);
         acc.record(-0.1);
+    }
+
+    /// The incremental ring matches a naive full-history rescan exactly
+    /// (same sliding-sum recurrence, so bit-identical, not just close).
+    #[test]
+    fn ring_matches_full_history_rescan() {
+        for w in [1usize, 3, 7, 32] {
+            let mut acc = WEventAccountant::new(w, 10.0);
+            let mut history: Vec<f64> = Vec::new();
+            let mut state = 0x9E37_79B9u64;
+            for t in 0..500 {
+                state = state
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1);
+                let spend = if state.is_multiple_of(3) {
+                    0.0
+                } else {
+                    (state >> 33) as f64 / (1u64 << 31) as f64
+                };
+                acc.record(spend);
+                history.push(spend);
+                let mut best = 0.0f64;
+                let mut sum = 0.0f64;
+                for i in 0..history.len() {
+                    sum += history[i];
+                    if i >= w {
+                        sum -= history[i - w];
+                    }
+                    best = best.max(sum);
+                }
+                assert_eq!(acc.max_window_spend(), best, "w={w} t={t}");
+                assert_eq!(acc.len(), t + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn ledger_memory_is_bounded_by_w() {
+        let mut acc = WEventAccountant::new(16, 1.0);
+        for _ in 0..100_000 {
+            acc.record(1.0 / 16.0);
+        }
+        assert_eq!(acc.len(), 100_000);
+        assert!(acc.ring.len() <= 16, "ring must not grow past w");
+        assert!((acc.current_window_spend() - 1.0).abs() < 1e-9);
     }
 }

@@ -19,7 +19,10 @@
 //! ```
 //!
 //! indefinitely while retaining the w-event guarantee (every slot spends
-//! `ε/w`, so any window of `w` totals ε).
+//! `ε/w`, so any window of `w` totals ε). "Indefinitely" is meant
+//! literally: the session's spend ledger is an O(w) ring buffer
+//! ([`WEventAccountant`]), so per-session memory is flat no matter how
+//! long the stream runs.
 
 use crate::accountant::WEventAccountant;
 use crate::backend::UnitBackend;

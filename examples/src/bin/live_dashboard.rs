@@ -1,0 +1,104 @@
+//! Live dashboard demo: a client fleet streams perturbed reports into a
+//! retention-bounded collector while the main thread serves crowd
+//! statistics from a [`ldp_collector::QueryEngine`] — ingest and queries
+//! running *concurrently*, the deployment shape the paper's w-event
+//! setting implies (only the trailing window ever matters).
+//!
+//! The collector keeps the last 32 slots; everything older folds into
+//! frozen prefix totals, so memory stays flat no matter how long the
+//! stream runs, while lifetime aggregates (total reports, population
+//! mean) remain exact.
+//!
+//! Run: `cargo run --release -p ldp-examples --bin live_dashboard`
+
+use ldp_collector::{
+    ClientFleet, Collector, CollectorConfig, FleetConfig, QueryEngine, SlotRetention,
+};
+use ldp_core::{PipelineSpec, SessionKind};
+use ldp_streams::synthetic::taxi_population;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+fn main() {
+    let (users, slots) = (20_000, 240);
+    let (epsilon, w, retain) = (2.0, 16, 32);
+    let population = taxi_population(users, slots, 42);
+
+    let collector = Collector::new(CollectorConfig {
+        retention: SlotRetention::Last(retain),
+        ..CollectorConfig::default()
+    });
+    let fleet = ClientFleet::new(FleetConfig {
+        spec: PipelineSpec::sw(SessionKind::Capp),
+        epsilon,
+        w,
+        seed: 7,
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
+    });
+
+    println!(
+        "{users} users × {slots} slots, w = {w}, retention = last {retain} slots, {} shards",
+        collector.shard_count(),
+    );
+    println!("\n  elapsed   reports   retained   latest-slot mean   window mean   population mean");
+
+    let engine = QueryEngine::new(&collector);
+    let done = AtomicBool::new(false);
+    let start = Instant::now();
+    let uploaded = std::thread::scope(|scope| {
+        let ingest = scope.spawn(|| {
+            let n = fleet
+                .drive(&population, 0..slots, &collector)
+                .expect("valid fleet config");
+            done.store(true, Ordering::Release);
+            n
+        });
+        // The dashboard loop: refresh the cached view, print one line,
+        // sleep — never touching the ingest mutexes between refreshes.
+        while !done.load(Ordering::Acquire) {
+            engine.refresh();
+            let view = engine.view();
+            let end = view.slot_end() as usize;
+            print_row(start, &view, end, w);
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        ingest.join().expect("ingest thread")
+    });
+    engine.refresh();
+    let view = engine.view();
+    print_row(start, &view, view.slot_end() as usize, w);
+
+    let elapsed = start.elapsed();
+    println!(
+        "\n{uploaded} reports in {elapsed:.2?} ({:.1}M reports/s) with live queries attached",
+        uploaded as f64 / elapsed.as_secs_f64() / 1e6,
+    );
+    println!(
+        "final view: {} users, {} retained slots (of {} seen), {} expired reports frozen",
+        view.user_count(),
+        view.slot_count(),
+        view.slot_end(),
+        view.frozen().count,
+    );
+    let truth = ldp_core::crowd::true_windowed_population_mean(&population, 0..slots);
+    println!(
+        "population mean: live estimate {:.4} vs ground truth {:.4}",
+        view.population_mean().unwrap_or(f64::NAN),
+        truth,
+    );
+}
+
+fn print_row(start: Instant, view: &ldp_collector::LiveView, end: usize, w: usize) {
+    let fmt = |v: Option<f64>| v.map_or_else(|| "    --".into(), |m| format!("{m:.4}"));
+    println!(
+        "  {:>7.0?}  {:>8}   {:>8}   {:>16}   {:>11}   {:>15}",
+        start.elapsed(),
+        view.total_reports(),
+        view.slot_count(),
+        fmt(view.slot_mean(end.saturating_sub(1))),
+        fmt(view.windowed_mean(end.saturating_sub(w)..end)),
+        fmt(view.population_mean()),
+    );
+}
