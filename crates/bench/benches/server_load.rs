@@ -1,0 +1,150 @@
+//! Server loopback throughput: the full wire path — client encode +
+//! checksum → loopback TCP → server decode + verify → `Collector::ingest`
+//! — while a concurrent connection hammers the query frames.
+//!
+//! Batches are pre-generated so the run times the *wire path*, not
+//! synthetic-data generation (fleet-perturbation end-to-end rates are the
+//! `collector`/`query_load` benches; remote-vs-local agreement is the
+//! `server_loopback` integration test and the `server_load` experiment
+//! artifact).
+//!
+//! Run: `cargo bench -p ldp-bench --bench server_load`. Scale with
+//! `LDP_BENCH_REPORTS` (default 6M), `LDP_BENCH_BATCH` (reports per
+//! ingest frame, default 8192), `LDP_BENCH_CONNS` (ingest connections,
+//! default 2), `LDP_BENCH_USERS` (distinct users, default 10,000),
+//! `LDP_BENCH_RETENTION` (retained slots, default 256).
+
+use ldp_collector::{Collector, CollectorConfig, ReportBatch, SlotRetention};
+use ldp_server::{RemoteCollector, Server, ServerConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let total_reports = env_usize("LDP_BENCH_REPORTS", 6_000_000);
+    let batch_size = env_usize("LDP_BENCH_BATCH", 8_192);
+    let conns = env_usize("LDP_BENCH_CONNS", 2).max(1);
+    let users = env_usize("LDP_BENCH_USERS", 10_000) as u64;
+    let retention = env_usize("LDP_BENCH_RETENTION", 256) as u64;
+    let batches_per_conn = total_reports.div_ceil(batch_size).div_ceil(conns);
+    let reports_per_conn = batches_per_conn * batch_size;
+
+    eprintln!(
+        "# server load bench: {conns} conns x {batches_per_conn} batches x {batch_size} reports \
+         = {} reports over loopback TCP, {users} users, retention {retention}",
+        conns * reports_per_conn
+    );
+
+    // Pre-generate each connection's batches (columnar, finite values).
+    let gen_start = Instant::now();
+    let batches: Vec<Vec<ReportBatch>> = (0..conns)
+        .map(|c| {
+            let mut out = Vec::with_capacity(batches_per_conn);
+            let mut state = 0x9E37_79B9u64.wrapping_add(c as u64);
+            for b in 0..batches_per_conn {
+                let mut batch = ReportBatch::with_capacity(batch_size);
+                let slot = (b % 4096) as u64;
+                for _ in 0..batch_size {
+                    state = state
+                        .wrapping_mul(6_364_136_223_846_793_005)
+                        .wrapping_add(1442695040888963407);
+                    let user = (state >> 33) % users;
+                    let value = ((state >> 11) % 2048) as f64 / 2048.0;
+                    batch.push(user, slot, value);
+                }
+                out.push(batch);
+            }
+            out
+        })
+        .collect();
+    eprintln!("# batches generated in {:.2?}", gen_start.elapsed());
+
+    let collector = Arc::new(Collector::new(CollectorConfig {
+        retention: SlotRetention::Last(retention),
+        ..CollectorConfig::default()
+    }));
+    let server = Server::bind(Arc::clone(&collector), ServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+
+    let done = AtomicBool::new(false);
+    let start = Instant::now();
+    let (accepted, queries) = std::thread::scope(|scope| {
+        // The concurrent query client: one refresh-backed query burst per
+        // pacing tick — the live-dashboard shape the tentpole requires.
+        let query_handle = scope.spawn(|| {
+            let mut client = RemoteCollector::connect(addr).expect("query connect");
+            let mut queries = 0u64;
+            loop {
+                let summary = client.summary().expect("summary");
+                let end = summary.slot_end;
+                if end > 0 {
+                    let from = end.saturating_sub(16).max(summary.retained_base);
+                    if from < end {
+                        let _ = client.windowed_mean(from..end).expect("windowed");
+                        queries += 1;
+                    }
+                }
+                let _ = client.population_mean().expect("population");
+                let _ = client.server_stats().expect("stats");
+                queries += 3;
+                if done.load(Ordering::Acquire) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            queries
+        });
+        let ingest: Vec<_> = batches
+            .iter()
+            .map(|conn_batches| {
+                scope.spawn(move || {
+                    let mut client = RemoteCollector::connect(addr).expect("ingest connect");
+                    for batch in conn_batches {
+                        client.ingest(batch).expect("ingest frame");
+                    }
+                    client.sync().expect("sync").accepted
+                })
+            })
+            .collect();
+        let accepted: u64 = ingest.into_iter().map(|h| h.join().unwrap()).sum();
+        done.store(true, Ordering::Release);
+        (accepted, query_handle.join().unwrap())
+    });
+    let elapsed = start.elapsed();
+
+    assert_eq!(
+        accepted,
+        (conns * reports_per_conn) as u64,
+        "every report must be accepted"
+    );
+    assert_eq!(collector.total_reports(), accepted);
+    let stats = server.stats();
+    assert_eq!(stats.frames_failed, 0, "clean run decodes every frame");
+    assert!(collector.snapshot().slot_count() as u64 <= retention);
+
+    let rate = accepted as f64 / elapsed.as_secs_f64();
+    println!(
+        "wire-path    conns={conns:<2} {accepted:>9} reports in {elapsed:>9.2?}  \
+         ({rate:>11.0} reports/s)  {queries:>6} queries served concurrently  \
+         ({:.0} queries/s)",
+        queries as f64 / elapsed.as_secs_f64()
+    );
+    println!(
+        "             frames: {} decoded, {} failed; pop_mean={:.4}; {:.1} MB wire payload",
+        stats.frames_decoded,
+        stats.frames_failed,
+        collector.snapshot().population_mean().unwrap_or(f64::NAN),
+        (accepted * 24) as f64 / 1e6,
+    );
+    println!(
+        "wire-path sustained {:.2}M reports/s over loopback with live queries attached",
+        rate / 1e6
+    );
+}

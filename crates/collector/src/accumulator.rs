@@ -151,6 +151,11 @@ pub struct ShardAccumulator {
     /// for slots already below `base` — totals stay exact under expiry.
     frozen: SlotStats,
     users: BTreeMap<u64, UserStats>,
+    /// Σ over users of `sum/count` (each user's running mean), maintained
+    /// incrementally at ingest so the population-mean aggregate can be
+    /// read as one scalar — the live query engine's refresh no longer
+    /// walks (or copies) the user table under this shard's ingest mutex.
+    mean_sum: f64,
     reports: u64,
 }
 
@@ -187,8 +192,14 @@ impl ShardAccumulator {
             None => self.frozen.add(value),
         }
         let user = self.users.entry(user).or_default();
+        let old_mean = if user.count > 0 {
+            user.sum / user.count as f64
+        } else {
+            0.0
+        };
         user.count += 1;
         user.sum += value;
+        self.mean_sum += user.sum / user.count as f64 - old_mean;
         self.reports += 1;
     }
 
@@ -280,6 +291,24 @@ impl ShardAccumulator {
     #[must_use]
     pub fn users(&self) -> &BTreeMap<u64, UserStats> {
         &self.users
+    }
+
+    /// Number of distinct users this shard has seen — O(1).
+    #[must_use]
+    pub fn user_count(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Sum of the per-user running means, maintained incrementally at
+    /// ingest — O(1) to read, so extracting the shard's population-mean
+    /// contribution costs two scalar loads instead of an O(users) table
+    /// walk. Drifts from a fresh recomputation only by accumulated
+    /// floating-point rounding (one `new_mean − old_mean` update per
+    /// report, each exact to ~1 ulp), far inside the 1e-9 agreement bound
+    /// the integration tests pin.
+    #[must_use]
+    pub fn user_mean_sum(&self) -> f64 {
+        self.mean_sum
     }
 }
 
@@ -427,6 +456,18 @@ mod tests {
         shard.ingest_parts(1, u64::MAX, 0.5);
         assert_eq!(shard.base(), u64::MAX - 2);
         assert_eq!(shard.slot_stats(u64::MAX).unwrap().count, 1);
+    }
+
+    #[test]
+    fn incremental_mean_sum_tracks_recomputation() {
+        let mut shard = ShardAccumulator::new();
+        assert_eq!(shard.user_mean_sum(), 0.0);
+        for i in 0..500u64 {
+            shard.ingest_parts(i % 7, i, (i % 13) as f64 / 13.0 - 0.3);
+        }
+        let recomputed: f64 = shard.users().values().map(|s| s.sum / s.count as f64).sum();
+        assert!((shard.user_mean_sum() - recomputed).abs() < 1e-12);
+        assert_eq!(shard.user_count(), 7);
     }
 
     #[test]

@@ -54,6 +54,19 @@ struct Shard {
     epoch: AtomicU64,
 }
 
+/// Per-batch ingest ledger: how [`Collector::ingest_outcome`] disposed of
+/// every report in the batch (`accepted + dropped + rejected` always
+/// equals the batch length).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestOutcome {
+    /// Reports folded into shard accumulators.
+    pub accepted: u64,
+    /// Reports dropped for a slot index at or above the configured bound.
+    pub dropped: u64,
+    /// Reports rejected for carrying a non-finite value.
+    pub rejected: u64,
+}
+
 /// A sharded, incremental aggregation engine for perturbed slot reports.
 ///
 /// Thread-safe: `ingest` takes `&self`, so any number of client threads
@@ -121,18 +134,19 @@ impl Collector {
     /// user batches — the shape every [`crate::ClientFleet`] upload has —
     /// take a fast path: one shard lock, no partitioning allocation.
     pub fn ingest(&self, batch: &ReportBatch) -> usize {
+        self.ingest_outcome(batch).accepted as usize
+    }
+
+    /// Like [`Self::ingest`], but returns the full per-batch disposition
+    /// ledger — what a network server needs to acknowledge an upload
+    /// frame without re-deriving drop/reject counts from global deltas.
+    pub fn ingest_outcome(&self, batch: &ReportBatch) -> IngestOutcome {
         let (users, slots, values) = (batch.users(), batch.slots(), batch.values());
         if users.is_empty() {
-            return 0;
+            return IngestOutcome::default();
         }
-        #[derive(Default)]
-        struct Tally {
-            accepted: usize,
-            dropped: u64,
-            rejected: u64,
-        }
-        let mut tally = Tally::default();
-        let fold = |shard: &mut ShardAccumulator, i: usize, t: &mut Tally| {
+        let mut tally = IngestOutcome::default();
+        let fold = |shard: &mut ShardAccumulator, i: usize, t: &mut IngestOutcome| {
             if slots[i] >= self.max_slots {
                 t.dropped += 1;
             } else if !values[i].is_finite() {
@@ -176,8 +190,7 @@ impl Collector {
             }
         }
         if tally.accepted > 0 {
-            self.accepted
-                .fetch_add(tally.accepted as u64, Ordering::Relaxed);
+            self.accepted.fetch_add(tally.accepted, Ordering::Relaxed);
         }
         if tally.dropped > 0 {
             self.dropped.fetch_add(tally.dropped, Ordering::Relaxed);
@@ -185,7 +198,7 @@ impl Collector {
         if tally.rejected > 0 {
             self.rejected.fetch_add(tally.rejected, Ordering::Relaxed);
         }
-        tally.accepted
+        tally
     }
 
     /// Total reports accepted so far, across all shards. Served from a
@@ -234,13 +247,30 @@ impl Collector {
     }
 
     /// Folds in rejections that happened upstream of ingest (e.g.
-    /// [`ReportBatch::push`] refusing a non-finite client report), so
+    /// [`ReportBatch::push`] refusing a non-finite client report, or a
+    /// remote client's wire frame carrying its local rejection count), so
     /// [`Self::rejected_reports`] accounts for every poison value seen
     /// anywhere on the upload path.
-    pub(crate) fn note_upstream_rejections(&self, n: u64) {
+    pub fn note_upstream_rejections(&self, n: u64) {
         if n > 0 {
             self.rejected.fetch_add(n, Ordering::Relaxed);
         }
+    }
+
+    /// `(user id, report count, value sum)` rows for every user, sorted
+    /// by id — the crowd-distribution extraction. Locks each shard in
+    /// turn (briefly: one row copy per user), so this is the *heavy*
+    /// per-user query; O(1) aggregates are served lock-free through
+    /// [`crate::QueryEngine`].
+    #[must_use]
+    pub fn per_user_rows(&self) -> Vec<(u64, u64, f64)> {
+        let mut rows: Vec<(u64, u64, f64)> = Vec::new();
+        for shard in &self.shards {
+            let acc = shard.acc.lock().expect("collector shard poisoned");
+            rows.extend(acc.users().iter().map(|(&id, s)| (id, s.count, s.sum)));
+        }
+        rows.sort_unstable_by_key(|&(id, _, _)| id);
+        rows
     }
 
     /// Takes a merged, immutable snapshot of the current crowd state.
@@ -431,6 +461,49 @@ mod tests {
         let after = epochs_at(&c);
         let advanced: Vec<_> = (0..2).filter(|&k| after[k] > before[k]).collect();
         assert_eq!(advanced, vec![c.shard_of(1)]);
+    }
+
+    #[test]
+    fn ingest_outcome_accounts_for_every_report() {
+        let c = Collector::new(CollectorConfig {
+            shards: 3,
+            max_slots: 10,
+            ..CollectorConfig::default()
+        });
+        let batch = ReportBatch::from_columns(
+            vec![1, 2, 3, 4, 5],
+            vec![0, 99, 5, 3, 2],
+            vec![0.5, 0.5, f64::NAN, 0.25, 0.75],
+        );
+        let out = c.ingest_outcome(&batch);
+        assert_eq!(
+            out,
+            IngestOutcome {
+                accepted: 3,
+                dropped: 1,
+                rejected: 1
+            }
+        );
+        assert_eq!(
+            out.accepted + out.dropped + out.rejected,
+            batch.len() as u64
+        );
+        assert_eq!(c.total_reports(), 3);
+    }
+
+    #[test]
+    fn per_user_rows_are_sorted_and_complete() {
+        let c = Collector::new(config(4));
+        c.ingest(&batch_of(&[9, 3, 7, 3, 9, 1]));
+        let rows = c.per_user_rows();
+        assert_eq!(
+            rows.iter().map(|&(id, _, _)| id).collect::<Vec<_>>(),
+            vec![1, 3, 7, 9]
+        );
+        assert_eq!(rows.iter().map(|&(_, n, _)| n).sum::<u64>(), 6);
+        let snap = c.snapshot();
+        let means: Vec<f64> = rows.iter().map(|&(_, n, s)| s / n as f64).collect();
+        assert_eq!(means, snap.per_user_means());
     }
 
     #[test]

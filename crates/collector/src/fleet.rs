@@ -44,6 +44,103 @@ pub fn user_seed(base: u64, user: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Where a fleet worker delivers its upload batches: a local
+/// [`Collector`] (in-process, the simulation shape) or a remote
+/// connection (the `ldp-server` crate's `RemoteCollector`, the deployment
+/// shape). One sink instance belongs to one worker thread, so
+/// implementations need no internal synchronization.
+pub trait ReportSink {
+    /// Submits one user's upload batch. The batch's
+    /// [`ReportBatch::rejected_non_finite`] count must reach the
+    /// downstream rejection ledger — values refused client-side still
+    /// have to be visible in the collector's accounting.
+    ///
+    /// # Errors
+    /// Transport errors (a local sink never fails).
+    fn submit(&mut self, batch: &ReportBatch) -> std::io::Result<()>;
+    /// Flushes buffered submissions and returns the number of reports the
+    /// downstream collector *accepted* from this sink.
+    ///
+    /// # Errors
+    /// Transport errors (a local sink never fails).
+    fn finish(&mut self) -> std::io::Result<u64>;
+}
+
+/// The in-process [`ReportSink`]: feeds [`Collector::ingest`] directly.
+#[derive(Debug)]
+pub struct CollectorSink<'c> {
+    collector: &'c Collector,
+    accepted: u64,
+}
+
+impl<'c> CollectorSink<'c> {
+    /// A sink uploading straight into `collector`.
+    #[must_use]
+    pub fn new(collector: &'c Collector) -> Self {
+        Self {
+            collector,
+            accepted: 0,
+        }
+    }
+}
+
+impl ReportSink for CollectorSink<'_> {
+    fn submit(&mut self, batch: &ReportBatch) -> std::io::Result<()> {
+        // A session must never publish NaN; if one ever does, the refusal
+        // has to surface in the collector's ledger, not vanish
+        // client-side.
+        self.collector
+            .note_upstream_rejections(batch.rejected_non_finite());
+        self.accepted += self.collector.ingest(batch) as u64;
+        Ok(())
+    }
+
+    fn finish(&mut self) -> std::io::Result<u64> {
+        Ok(self.accepted)
+    }
+}
+
+/// Failure modes of a [`ClientFleet`] drive: an invalid pipeline
+/// configuration (caught before any worker spawns) or a sink transport
+/// error (a worker's connection failed mid-upload).
+#[derive(Debug)]
+pub enum FleetError {
+    /// `(epsilon, w)` is invalid for the configured pipeline.
+    Config(ldp_core::Error),
+    /// A worker's [`ReportSink`] failed.
+    Sink(std::io::Error),
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::Config(e) => write!(f, "invalid fleet configuration: {e}"),
+            FleetError::Sink(e) => write!(f, "fleet report sink failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Config(e) => Some(e),
+            FleetError::Sink(e) => Some(e),
+        }
+    }
+}
+
+impl From<ldp_core::Error> for FleetError {
+    fn from(e: ldp_core::Error) -> Self {
+        FleetError::Config(e)
+    }
+}
+
+impl From<std::io::Error> for FleetError {
+    fn from(e: std::io::Error) -> Self {
+        FleetError::Sink(e)
+    }
+}
+
 /// Drives N sharded [`OnlineSession`] clients over population data.
 #[derive(Debug, Clone, Copy)]
 pub struct ClientFleet {
@@ -85,20 +182,63 @@ impl ClientFleet {
         range: Range<usize>,
         collector: &Collector,
     ) -> ldp_core::Result<u64> {
-        // Validate the configuration up front so workers can't fail.
+        self.drive_with_sinks(population, range, &|_| Ok(CollectorSink::new(collector)))
+            .map_err(|e| match e {
+                FleetError::Config(e) => e,
+                FleetError::Sink(_) => unreachable!("local collector sink cannot fail"),
+            })
+    }
+
+    /// The transport-generic drive: like [`Self::drive`], but each worker
+    /// uploads through its own [`ReportSink`] built by `make_sink(worker
+    /// index)` — a local [`CollectorSink`], or a remote connection (the
+    /// `ldp-server` crate drives a fleet against a TCP endpoint this
+    /// way). Published values are identical across transports: the sink
+    /// only carries bytes, it never touches the perturbation path.
+    ///
+    /// Returns the total number of reports the downstream collector
+    /// accepted (the sum of every sink's [`ReportSink::finish`]).
+    ///
+    /// # Errors
+    /// [`FleetError::Config`] if `(epsilon, w)` is invalid for the
+    /// pipeline (checked before any worker spawns), [`FleetError::Sink`]
+    /// if building or driving any worker's sink failed.
+    ///
+    /// # Panics
+    /// Panics if `range` is out of bounds for any user or `threads == 0`.
+    pub fn drive_with_sinks<S, F>(
+        &self,
+        population: &Population,
+        range: Range<usize>,
+        make_sink: &F,
+    ) -> Result<u64, FleetError>
+    where
+        S: ReportSink,
+        F: Fn(usize) -> std::io::Result<S> + Sync,
+    {
+        // Validate the configuration up front so workers can't fail on it.
         let _ = OnlineSession::of_spec(self.config.spec, self.config.epsilon, self.config.w)?;
         let cfg = self.config;
         let shards = population.shard_slices(cfg.threads);
         let total = std::thread::scope(|scope| {
             let handles: Vec<_> = shards
                 .iter()
-                .map(|&(start, users)| {
+                .enumerate()
+                .map(|(worker, &(start, users))| {
                     let range = range.clone();
-                    scope.spawn(move || worker_upload(cfg, start, users, range, collector))
+                    scope.spawn(move || {
+                        let mut sink = make_sink(worker)?;
+                        worker_upload(cfg, start, users, range, &mut sink)?;
+                        sink.finish()
+                    })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).sum()
-        });
+            let mut total = 0u64;
+            for h in handles {
+                total += h.join().expect("fleet worker panicked")?;
+            }
+            Ok::<u64, std::io::Error>(total)
+        })?;
         Ok(total)
     }
 
@@ -170,7 +310,12 @@ impl ClientFleet {
                 .iter()
                 .map(|&(start, users)| {
                     let range = range.clone();
-                    scope.spawn(move || worker_upload(cfg, start, users, range, collector))
+                    scope.spawn(move || {
+                        let mut sink = CollectorSink::new(collector);
+                        worker_upload(cfg, start, users, range, &mut sink)
+                            .expect("local collector sink cannot fail");
+                        sink.finish().expect("local collector sink cannot fail")
+                    })
                 })
                 .collect();
             let uploaded: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
@@ -194,18 +339,17 @@ impl ClientFleet {
 }
 
 /// One ingest worker: runs the sessions of `users` (ids starting at
-/// `start`) over `range` and uploads into `collector`, reusing one publish
-/// buffer and one columnar batch across users. Shared by [`ClientFleet::
-/// drive`] and [`ClientFleet::drive_with_queries`], so the two paths
+/// `start`) over `range` and submits one batch per user into `sink`,
+/// reusing one publish buffer and one columnar batch across users. Shared
+/// by every drive flavor (local, with-queries, remote), so all paths
 /// publish bit-identical values.
-fn worker_upload(
+fn worker_upload<S: ReportSink>(
     cfg: FleetConfig,
     start: usize,
     users: &[Stream],
     range: Range<usize>,
-    collector: &Collector,
-) -> u64 {
-    let mut uploaded = 0u64;
+    sink: &mut S,
+) -> std::io::Result<()> {
     let mut published: Vec<f64> = Vec::new();
     let mut batch = ReportBatch::new();
     for (offset, stream) in users.iter().enumerate() {
@@ -217,13 +361,9 @@ fn worker_upload(
         session.report_all_into(xs, &mut published, &mut rng);
         batch.clear();
         batch.push_stream(user, 0, &published);
-        // A session must never publish NaN; if one ever does, the refusal
-        // has to surface in the collector's ledger, not vanish
-        // client-side.
-        collector.note_upstream_rejections(batch.rejected_non_finite());
-        uploaded += collector.ingest(&batch) as u64;
+        sink.submit(&batch)?;
     }
-    uploaded
+    Ok(())
 }
 
 /// Pause between query-thread rounds in

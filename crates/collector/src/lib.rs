@@ -80,8 +80,11 @@ pub mod report;
 pub mod snapshot;
 
 pub use accumulator::{ShardAccumulator, SlotRetention, SlotStats, UserStats};
-pub use engine::{Collector, CollectorConfig};
-pub use fleet::{user_seed, ClientFleet, FleetConfig, QueryLoadReport, ReseedingSession};
+pub use engine::{Collector, CollectorConfig, IngestOutcome};
+pub use fleet::{
+    user_seed, ClientFleet, CollectorSink, FleetConfig, FleetError, QueryLoadReport, ReportSink,
+    ReseedingSession,
+};
 pub use query::{LiveView, QueryEngine};
 pub use report::{ReportBatch, SlotReport};
 pub use snapshot::{CollectorSnapshot, SlotTable};

@@ -12,11 +12,12 @@
 //!   of them behind an `RwLock<Arc<…>>`.
 //! * [`QueryEngine::refresh`] re-extracts and **delta-merges only the
 //!   shards whose epoch advanced** (subtract the shard's old contribution,
-//!   add the new one) — O(changed shards × shard state: retained window +
-//!   that shard's user rows), never O(every shard) — then swaps the `Arc`.
-//!   Unchanged shards cost one atomic load. The shard mutex is held only
-//!   for the raw state copy; derived aggregates are computed after it is
-//!   released.
+//!   add the new one) — O(changed shards × retained window), never
+//!   O(every shard) and never O(shard population): the per-user side is
+//!   carried as two scalars ([`crate::ShardAccumulator::user_mean_sum`] is
+//!   maintained incrementally at ingest), so refresh copies **no user
+//!   table** under the ingest mutex no matter how many users the shard
+//!   holds. Unchanged shards cost one atomic load.
 //! * Queries clone the current `Arc` and answer from the immutable view:
 //!   O(1) for [`LiveView::slot_mean`] / [`LiveView::population_mean`],
 //!   O(window) for [`LiveView::windowed_mean`]. They never touch a shard
@@ -36,12 +37,17 @@
 
 use crate::accumulator::{ShardAccumulator, SlotStats};
 use crate::engine::Collector;
-use crate::snapshot::{CollectorSnapshot, SlotTable};
-use std::ops::Range;
+use crate::snapshot::SlotTable;
+use std::ops::{Deref, Range};
 use std::sync::{Arc, Mutex, RwLock};
 
 /// One shard's aggregate state as published at a specific epoch: the
 /// shard-side half of the engine's cache.
+///
+/// The per-user side is two scalars (`user_count`, `mean_sum`), not a row
+/// table: [`crate::ShardAccumulator`] maintains the mean sum incrementally
+/// at ingest, so extraction cost is bounded by the retained slot window —
+/// never by how many users the shard has accumulated.
 #[derive(Debug, Clone, Default)]
 struct ShardAggregate {
     /// Shard epoch this aggregate was extracted at.
@@ -52,9 +58,10 @@ struct ShardAggregate {
     slots: Vec<SlotStats>,
     /// Aggregate over the shard's expired slots.
     frozen: SlotStats,
-    /// `(user id, report count, value sum)`, ascending by id.
-    users: Vec<(u64, u64, f64)>,
-    /// Sum of the shard's per-user running means.
+    /// Distinct users the shard has seen.
+    user_count: usize,
+    /// Sum of the shard's per-user running means (incrementally
+    /// maintained by the accumulator, read here as one scalar).
     mean_sum: f64,
     /// Reports folded into the shard so far.
     reports: u64,
@@ -62,31 +69,17 @@ struct ShardAggregate {
 
 impl ShardAggregate {
     /// Raw state copy — the only work done while the shard's ingest mutex
-    /// is held. Derived aggregates wait for [`Self::finish`].
+    /// is held: the retained slot window plus four scalars.
     fn copy_raw(acc: &ShardAccumulator, epoch: u64) -> Self {
-        let mut users = Vec::with_capacity(acc.users().len());
-        for (&id, stats) in acc.users() {
-            users.push((id, stats.count, stats.sum));
-        }
         Self {
             epoch,
             base: acc.base(),
             slots: acc.retained_slots().map(|(_, s)| *s).collect(),
             frozen: *acc.frozen(),
-            users,
-            mean_sum: 0.0,
+            user_count: acc.user_count(),
+            mean_sum: acc.user_mean_sum(),
             reports: acc.reports(),
         }
-    }
-
-    /// Computes the derived per-user mean sum — called after the shard
-    /// lock is released, so the division walk never stalls ingest.
-    fn finish(&mut self) {
-        self.mean_sum = self
-            .users
-            .iter()
-            .map(|&(_, count, sum)| sum / count as f64)
-            .sum();
     }
 
     fn slot_end(&self) -> u64 {
@@ -104,7 +97,7 @@ pub struct LiveView {
     /// Monotone refresh counter (0 for the pre-first-refresh empty view).
     version: u64,
     /// The merged slot-query core (shared type with
-    /// [`CollectorSnapshot`], so the two paths answer identically).
+    /// [`crate::CollectorSnapshot`], so the two paths answer identically).
     table: SlotTable,
     total_reports: u64,
     user_count: usize,
@@ -181,7 +174,7 @@ impl LiveView {
 
     /// Windowed subsequence mean over `range` — O(window). `None` if any
     /// slot of the range is unreported or expired (same contract as
-    /// [`CollectorSnapshot::windowed_mean`] — both delegate to the shared
+    /// [`crate::CollectorSnapshot::windowed_mean`] — both delegate to the shared
     /// [`SlotTable`]).
     #[must_use]
     pub fn windowed_mean(&self, range: Range<usize>) -> Option<f64> {
@@ -190,44 +183,10 @@ impl LiveView {
 
     /// The headline population-mean estimate (average of per-user means),
     /// or `None` before any user reported — O(1): the per-shard mean sums
-    /// are pre-aggregated at extraction.
+    /// are incrementally maintained at ingest and read as scalars.
     #[must_use]
     pub fn population_mean(&self) -> Option<f64> {
         (self.user_count > 0).then(|| self.mean_sum / self.user_count as f64)
-    }
-
-    /// The per-shard user rows gathered into one id-sorted list (shards
-    /// own disjoint users, so concatenation never collides).
-    fn merged_user_rows(&self) -> Vec<(u64, u64, f64)> {
-        let mut rows: Vec<(u64, u64, f64)> = self
-            .shards
-            .iter()
-            .flat_map(|s| s.users.iter().copied())
-            .collect();
-        rows.sort_unstable_by_key(|&(id, _, _)| id);
-        rows
-    }
-
-    /// Each user's running mean estimate, ordered by user id — the
-    /// crowd-level distribution query. O(U log U) on demand; the
-    /// per-shard rows are already extracted, so this still takes no lock.
-    #[must_use]
-    pub fn per_user_means(&self) -> Vec<f64> {
-        self.merged_user_rows()
-            .into_iter()
-            .map(|(_, count, sum)| sum / count as f64)
-            .collect()
-    }
-
-    /// Materializes the view as a [`CollectorSnapshot`] — the full merged
-    /// structure, built without locking a single shard.
-    #[must_use]
-    pub fn to_snapshot(&self) -> CollectorSnapshot {
-        CollectorSnapshot::from_parts(
-            self.table.clone(),
-            self.merged_user_rows(),
-            self.total_reports,
-        )
     }
 }
 
@@ -235,20 +194,26 @@ impl LiveView {
 /// the architecture). Create one per collector and share it by reference;
 /// any number of query threads may call [`Self::view`] / the query
 /// delegates while others call [`Self::refresh`].
+///
+/// Generic over *how* the collector is held: `QueryEngine<&Collector>`
+/// borrows (the in-process shape, as before), while
+/// `QueryEngine<Arc<Collector>>` owns a handle — which is what a network
+/// server needs to move the engine into long-lived service threads
+/// without tying it to a stack frame.
 #[derive(Debug)]
-pub struct QueryEngine<'c> {
-    collector: &'c Collector,
+pub struct QueryEngine<C: Deref<Target = Collector>> {
+    collector: C,
     view: RwLock<Arc<LiveView>>,
     /// Serializes refreshers so concurrent refreshes cannot interleave
     /// their subtract/add passes or publish out of order.
     refresh: Mutex<()>,
 }
 
-impl<'c> QueryEngine<'c> {
+impl<C: Deref<Target = Collector>> QueryEngine<C> {
     /// Creates an engine over `collector` and publishes an initial view
     /// (one refresh, so pre-existing state is visible immediately).
     #[must_use]
-    pub fn new(collector: &'c Collector) -> Self {
+    pub fn new(collector: C) -> Self {
         let empty = LiveView {
             shards: (0..collector.shard_count())
                 .map(|_| Arc::new(ShardAggregate::default()))
@@ -266,8 +231,8 @@ impl<'c> QueryEngine<'c> {
 
     /// The collector this engine serves.
     #[must_use]
-    pub fn collector(&self) -> &'c Collector {
-        self.collector
+    pub fn collector(&self) -> &Collector {
+        &self.collector
     }
 
     /// The current published view (an `Arc` clone — O(1), never blocks on
@@ -282,9 +247,11 @@ impl<'c> QueryEngine<'c> {
     /// shards that were re-published (0 means the view was already
     /// current and nothing was swapped).
     ///
-    /// Cost: O(changed shards × shard state) for extraction plus
-    /// O(retained window) to realign the merged vector; shards that did
-    /// not change are revalidated with one atomic load each.
+    /// Cost: O(changed shards × retained window) for extraction — the
+    /// per-user side is two scalars, so cost is bounded by the change
+    /// set, never the shard population — plus O(retained window) to
+    /// realign the merged vector; shards that did not change are
+    /// revalidated with one atomic load each.
     pub fn refresh(&self) -> usize {
         let _serialize = self.refresh.lock().expect("refresh lock poisoned");
         let cur = self.view();
@@ -298,9 +265,8 @@ impl<'c> QueryEngine<'c> {
             if self.collector.shard_epoch(k) != cur.shards[k].epoch {
                 let guard = self.collector.lock_shard(k);
                 let epoch = self.collector.shard_epoch(k);
-                let mut agg = ShardAggregate::copy_raw(&guard, epoch);
+                let agg = ShardAggregate::copy_raw(&guard, epoch);
                 drop(guard);
-                agg.finish();
                 changed.push((k, agg));
             }
         }
@@ -336,7 +302,7 @@ impl<'c> QueryEngine<'c> {
 
         // Scalar totals are O(shards) to recompute — no drift to manage.
         let total_reports = shards.iter().map(|a| a.reports).sum();
-        let user_count = shards.iter().map(|a| a.users.len()).sum();
+        let user_count = shards.iter().map(|a| a.user_count).sum();
         let mean_sum = shards.iter().map(|a| a.mean_sum).sum();
 
         let next = Arc::new(LiveView {
@@ -372,18 +338,26 @@ impl<'c> QueryEngine<'c> {
         self.view().population_mean()
     }
 
-    /// See [`LiveView::per_user_means`].
+    /// Each user's running mean estimate, ordered by user id — the
+    /// crowd-level distribution query. Unlike the O(1) aggregates this is
+    /// inherently O(population), so it is served by briefly locking each
+    /// shard for a row copy ([`Collector::per_user_rows`]) rather than by
+    /// dragging a full user table through every refresh.
     #[must_use]
     pub fn per_user_means(&self) -> Vec<f64> {
-        self.view().per_user_means()
+        self.collector
+            .per_user_rows()
+            .into_iter()
+            .map(|(_, count, sum)| sum / count as f64)
+            .collect()
     }
 }
 
 impl Collector {
-    /// Creates a [`QueryEngine`] over this collector (convenience for
-    /// `QueryEngine::new(&collector)`).
+    /// Creates a borrowing [`QueryEngine`] over this collector
+    /// (convenience for `QueryEngine::new(&collector)`).
     #[must_use]
-    pub fn query_engine(&self) -> QueryEngine<'_> {
+    pub fn query_engine(&self) -> QueryEngine<&Collector> {
         QueryEngine::new(self)
     }
 }
@@ -469,14 +443,12 @@ mod tests {
             );
         }
         assert!((view.population_mean().unwrap() - snap.population_mean().unwrap()).abs() < 1e-12);
-        assert_eq!(view.per_user_means().len(), snap.per_user_means().len());
-        for (a, b) in view.per_user_means().iter().zip(snap.per_user_means()) {
+        // The heavy distribution query (shard-locking path) agrees too.
+        let means = engine.per_user_means();
+        assert_eq!(means.len(), snap.per_user_means().len());
+        for (a, b) in means.iter().zip(snap.per_user_means()) {
             assert!((a - b).abs() < 1e-12);
         }
-        // And the lock-free materialization agrees field-for-field.
-        let mat = view.to_snapshot();
-        assert_eq!(mat.total_reports(), snap.total_reports());
-        assert_eq!(mat.per_user_means(), snap.per_user_means());
     }
 
     #[test]
@@ -530,6 +502,6 @@ mod tests {
         assert_eq!(view.population_mean(), None);
         assert_eq!(view.slot_mean(0), None);
         assert_eq!(view.windowed_mean(0..4), None);
-        assert!(view.per_user_means().is_empty());
+        assert!(engine.per_user_means().is_empty());
     }
 }

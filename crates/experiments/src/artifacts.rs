@@ -42,6 +42,7 @@ pub fn names() -> &'static [&'static str] {
         "collector_scale",
         "pipeline_grid",
         "query_load",
+        "server_load",
     ]
 }
 
@@ -61,6 +62,7 @@ pub fn run(name: &str, cfg: &ExperimentConfig) -> Option<String> {
         "collector_scale" => Some(collector_scale(cfg)),
         "pipeline_grid" => Some(pipeline_grid(cfg)),
         "query_load" => Some(query_load(cfg)),
+        "server_load" => Some(server_load(cfg)),
         _ => None,
     }
 }
@@ -602,6 +604,73 @@ pub fn query_load(cfg: &ExperimentConfig) -> String {
     out
 }
 
+/// Server-load scenario: the same seeded fleet drives the collector twice
+/// — once in-process, once through `ldp-server`'s framed TCP loopback
+/// path (each worker its own connection) — and the table reports wire
+/// throughput, the remote-vs-local population-mean gap (pinned ≤ 1e-9 by
+/// the loopback integration test, here surfaced end-to-end), and the
+/// server's own frame counters.
+#[must_use]
+pub fn server_load(cfg: &ExperimentConfig) -> String {
+    use ldp_server::{drive_fleet_loopback, RemoteCollector, Server, ServerConfig};
+    use std::sync::Arc;
+
+    let (epsilon, w) = (2.0, W);
+    let slots = 60;
+    let range = 0..slots;
+    let users = cfg.fleet_users.max(1);
+    let population = ldp_streams::synthetic::taxi_population(users, slots, cfg.sub_seed(&[15]));
+
+    let mut out = format!(
+        "## Server load — framed TCP loopback vs in-process ingest \
+         (ε = {epsilon}, w = {w}, {users} users × {slots} slots)\n\n\
+         | conns | reports | reports/s | \\|pop mean − local\\| | frames | failed | queries |\n\
+         |---|---|---|---|---|---|---|\n"
+    );
+    for conns in [1usize, 2, 4] {
+        let fleet = ClientFleet::new(FleetConfig {
+            spec: PipelineSpec::sw(SessionKind::Capp),
+            epsilon,
+            w,
+            seed: cfg.sub_seed(&[15, 1]),
+            threads: conns,
+        });
+        // In-process reference with the same seeds.
+        let local = Collector::new(CollectorConfig::default());
+        fleet
+            .drive(&population, range.clone(), &local)
+            .expect("static config");
+        let local_pop = local.snapshot().population_mean().expect("users reported");
+
+        // Remote path: one connection per fleet worker.
+        let server = Server::bind(
+            Arc::new(Collector::new(CollectorConfig::default())),
+            ServerConfig::default(),
+        )
+        .expect("bind loopback");
+        let start = std::time::Instant::now();
+        let accepted = drive_fleet_loopback(&fleet, &population, range.clone(), &server)
+            .expect("loopback drive");
+        let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+
+        let mut client = RemoteCollector::connect(server.local_addr()).expect("query connect");
+        let remote_pop = client
+            .population_mean()
+            .expect("population query")
+            .expect("users reported");
+        let stats = client.server_stats().expect("stats query");
+        out.push_str(&format!(
+            "| {conns} | {accepted} | {:.3e} | {:.3e} | {} | {} | {} |\n",
+            accepted as f64 / elapsed,
+            (remote_pop - local_pop).abs(),
+            stats.frames_decoded,
+            stats.frames_failed,
+            stats.queries_answered,
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -657,6 +726,21 @@ mod tests {
                 .parse()
                 .unwrap();
             assert!(gap < 1e-9, "retention row drifted: {row}");
+        }
+    }
+
+    #[test]
+    fn server_load_rows_agree_with_the_local_reference() {
+        let md = server_load(&tiny());
+        // Three connection rows plus the header row.
+        let rows: Vec<&str> = md.lines().filter(|l| l.starts_with("| ")).collect();
+        assert_eq!(rows.len(), 3 + 1);
+        for row in rows.iter().skip(1) {
+            let cells: Vec<&str> = row.split('|').map(str::trim).collect();
+            let gap: f64 = cells[4].parse().expect("gap column");
+            assert!(gap <= 1e-9, "remote path drifted from local: {row}");
+            let failed: u64 = cells[6].parse().expect("failed column");
+            assert_eq!(failed, 0, "clean run decodes every frame: {row}");
         }
     }
 

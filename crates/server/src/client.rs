@@ -1,0 +1,262 @@
+//! The client side: [`RemoteCollector`] speaks the wire protocol over one
+//! TCP connection and exposes the same batch-ingest surface the fleet
+//! drives in-process, plus the query verbs.
+//!
+//! Ingest is **pipelined**: uploads are fire-and-forget frames (TCP flow
+//! control applies the backpressure), and [`RemoteCollector::sync`]
+//! inserts a barrier that returns the connection's disposition ledger —
+//! the same accept/drop/reject accounting [`ldp_collector::Collector`]
+//! keeps in-process. Queries are classic request/response.
+
+use crate::serve::Server;
+use crate::wire::{
+    code, Frame, Header, StatsBody, SummaryBody, WireError, DEFAULT_MAX_PAYLOAD, HEADER_LEN,
+};
+use ldp_collector::{ClientFleet, FleetError, IngestOutcome, ReportBatch, ReportSink};
+use ldp_streams::Population;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::ops::Range;
+
+/// A connection to an `ldp-server`, presenting the collector's ingest
+/// and query surface over the wire.
+#[derive(Debug)]
+pub struct RemoteCollector {
+    stream: TcpStream,
+    /// Reusable encode buffer (one frame at a time).
+    out: Vec<u8>,
+    /// Reusable payload read buffer.
+    payload: Vec<u8>,
+    max_payload: u32,
+}
+
+impl RemoteCollector {
+    /// Connects to a server (Nagle disabled: ingest frames are already
+    /// batched, queries want the latency).
+    ///
+    /// # Errors
+    /// Connection errors.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            out: Vec::with_capacity(4096),
+            payload: Vec::new(),
+            max_payload: DEFAULT_MAX_PAYLOAD,
+        })
+    }
+
+    /// Uploads one batch (fire-and-forget; pair with [`Self::sync`] for
+    /// the acceptance ledger). The batch's client-side rejection count
+    /// rides along so the server ledger accounts for it.
+    ///
+    /// # Errors
+    /// Transport errors.
+    pub fn ingest(&mut self, batch: &ReportBatch) -> std::io::Result<()> {
+        self.out.clear();
+        // Encode straight from the batch columns — no intermediate
+        // column clones on the hot path.
+        Frame::encode_ingest_into(batch, &mut self.out);
+        self.stream.write_all(&self.out)
+    }
+
+    /// Barrier: waits until the server has ingested everything sent on
+    /// this connection and returns the connection's disposition totals —
+    /// the same [`IngestOutcome`] ledger `Collector::ingest_outcome`
+    /// reports in-process (here including client-side rejections
+    /// forwarded on the ingest frames).
+    ///
+    /// # Errors
+    /// Transport errors, or a server-reported error frame.
+    pub fn sync(&mut self) -> std::io::Result<IngestOutcome> {
+        match self.request(&Frame::IngestSync)? {
+            Frame::IngestAck {
+                accepted,
+                dropped,
+                rejected,
+            } => Ok(IngestOutcome {
+                accepted,
+                dropped,
+                rejected,
+            }),
+            other => Err(unexpected_reply(&other)),
+        }
+    }
+
+    /// The crowd population-mean estimate (`None` before any report).
+    ///
+    /// # Errors
+    /// Transport errors, or a server-reported error frame.
+    pub fn population_mean(&mut self) -> std::io::Result<Option<f64>> {
+        match self.request(&Frame::QueryPopulationMean)? {
+            Frame::PopulationMean { mean } => Ok(mean),
+            other => Err(unexpected_reply(&other)),
+        }
+    }
+
+    /// The windowed mean over `range` (`None` if any slot is unreported
+    /// or expired).
+    ///
+    /// # Errors
+    /// Transport errors, or a server-reported error frame (e.g. an empty
+    /// range).
+    pub fn windowed_mean(&mut self, range: Range<u64>) -> std::io::Result<Option<f64>> {
+        let frame = Frame::QueryWindowedMean {
+            start: range.start,
+            end: range.end,
+        };
+        match self.request(&frame)? {
+            Frame::WindowedMean { mean } => Ok(mean),
+            other => Err(unexpected_reply(&other)),
+        }
+    }
+
+    /// Per-slot means over `range` (each `None` where unreported or
+    /// expired).
+    ///
+    /// # Errors
+    /// Transport errors, or a server-reported error frame (range empty
+    /// or beyond the server's bound).
+    pub fn slot_means(&mut self, range: Range<u64>) -> std::io::Result<Vec<Option<f64>>> {
+        let frame = Frame::QuerySlotMeans {
+            start: range.start,
+            end: range.end,
+        };
+        match self.request(&frame)? {
+            Frame::SlotMeans { means, .. } => Ok(means),
+            other => Err(unexpected_reply(&other)),
+        }
+    }
+
+    /// The snapshot-level summary (totals, retained range, population
+    /// mean).
+    ///
+    /// # Errors
+    /// Transport errors, or a server-reported error frame.
+    pub fn summary(&mut self) -> std::io::Result<SummaryBody> {
+        match self.request(&Frame::QuerySummary)? {
+            Frame::Summary(s) => Ok(s),
+            other => Err(unexpected_reply(&other)),
+        }
+    }
+
+    /// The server's operational counters.
+    ///
+    /// # Errors
+    /// Transport errors, or a server-reported error frame.
+    pub fn server_stats(&mut self) -> std::io::Result<StatsBody> {
+        match self.request(&Frame::QueryStats)? {
+            Frame::Stats(s) => Ok(s),
+            other => Err(unexpected_reply(&other)),
+        }
+    }
+
+    /// Sends one frame and reads the server's reply, mapping a server
+    /// [`Frame::Error`] to `io::Error`.
+    fn request(&mut self, frame: &Frame) -> std::io::Result<Frame> {
+        self.out.clear();
+        frame.encode_into(&mut self.out);
+        self.stream.write_all(&self.out)?;
+        let reply = self.read_frame()?;
+        if let Frame::Error { code: c, message } = reply {
+            let kind = match c {
+                code::BUSY => std::io::ErrorKind::ConnectionRefused,
+                code::BAD_QUERY => std::io::ErrorKind::InvalidInput,
+                _ => std::io::ErrorKind::InvalidData,
+            };
+            return Err(std::io::Error::new(
+                kind,
+                format!("server error {c}: {message}"),
+            ));
+        }
+        Ok(reply)
+    }
+
+    /// Reads one complete frame (blocking).
+    fn read_frame(&mut self) -> std::io::Result<Frame> {
+        let mut header_buf = [0u8; HEADER_LEN];
+        self.stream.read_exact(&mut header_buf)?;
+        let header = Header::parse(&header_buf).map_err(std::io::Error::from)?;
+        if header.payload_len > self.max_payload {
+            return Err(WireError::Oversized {
+                len: header.payload_len,
+                max: self.max_payload,
+            }
+            .into());
+        }
+        self.payload.clear();
+        self.payload.resize(header.payload_len as usize, 0);
+        self.stream.read_exact(&mut self.payload)?;
+        header.verify(&self.payload).map_err(std::io::Error::from)?;
+        Frame::decode_body(header.frame_type, &self.payload).map_err(std::io::Error::from)
+    }
+}
+
+impl Drop for RemoteCollector {
+    fn drop(&mut self) {
+        // Polite close; the server treats plain EOF identically.
+        self.out.clear();
+        Frame::Goodbye.encode_into(&mut self.out);
+        let _ = self.stream.write_all(&self.out);
+    }
+}
+
+/// One [`RemoteCollector`] per fleet worker is a [`ReportSink`], which is
+/// all [`ClientFleet::drive_with_sinks`] needs for remote mode.
+impl ReportSink for RemoteCollector {
+    fn submit(&mut self, batch: &ReportBatch) -> std::io::Result<()> {
+        self.ingest(batch)
+    }
+
+    fn finish(&mut self) -> std::io::Result<u64> {
+        Ok(self.sync()?.accepted)
+    }
+}
+
+/// Drives a [`ClientFleet`] against a remote server: each worker opens
+/// its own connection and uploads its users' perturbed reports over the
+/// wire — the deployment shape of the paper's collector, at fleet scale.
+/// Published values are identical to the in-process
+/// [`ClientFleet::drive`] with the same config (the transport never
+/// touches the perturbation path); only cross-user float summation order
+/// inside shards can differ, which the loopback agreement test pins at
+/// ≤ 1e-9.
+///
+/// Returns the number of reports the server accepted.
+///
+/// # Errors
+/// [`FleetError::Config`] for an invalid pipeline, [`FleetError::Sink`]
+/// for connection/transport failures.
+pub fn drive_fleet_remote<A: ToSocketAddrs + Sync>(
+    fleet: &ClientFleet,
+    population: &Population,
+    range: Range<usize>,
+    addr: A,
+) -> Result<u64, FleetError> {
+    fleet.drive_with_sinks(population, range, &|_worker| {
+        RemoteCollector::connect(&addr)
+    })
+}
+
+/// Convenience for tests and examples: drives the fleet against a
+/// [`Server`] already running in this process (over real loopback TCP).
+///
+/// # Errors
+/// See [`drive_fleet_remote`].
+pub fn drive_fleet_loopback(
+    fleet: &ClientFleet,
+    population: &Population,
+    range: Range<usize>,
+    server: &Server,
+) -> Result<u64, FleetError> {
+    drive_fleet_remote(fleet, population, range, server.local_addr())
+}
+
+/// `io::Error` for a structurally valid but contextually wrong reply.
+fn unexpected_reply(frame: &Frame) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("unexpected reply frame type {}", frame.frame_type()),
+    )
+}

@@ -1,0 +1,66 @@
+//! `ldp-server` — the network edge of the LDP stream-publication stack.
+//!
+//! The paper's deployment story is millions of LDP clients streaming
+//! perturbed reports to a central aggregator. `ldp-collector` is that
+//! aggregator as a library; this crate puts it behind a socket:
+//!
+//! ```text
+//! ClientFleet ─▶ RemoteCollector ─╥─ framed TCP ─╥─▶ Server ─▶ Collector
+//!   (sessions)     (client.rs)    ║   (wire.rs)  ║  (serve.rs)    │
+//!                                 ║              ║       ▲        ▼
+//!            queries ◀────────────╨──────────────╨── QueryEngine/LiveView
+//! ```
+//!
+//! * [`wire`] — the versioned, length-prefixed, checksummed binary frame
+//!   codec: columnar report uploads, the query request/response family
+//!   (population mean, windowed/per-slot means, snapshot summary, server
+//!   stats), and explicit error frames.
+//! * [`serve`] — [`Server`]: a multithreaded TCP service over a shared
+//!   [`ldp_collector::Collector`] + [`ldp_collector::QueryEngine`], with
+//!   connection limits, per-connection ingest ledgers, operational
+//!   counters, and graceful shutdown.
+//! * [`client`] — [`RemoteCollector`]: the same batch-ingest surface the
+//!   fleet drives in-process, over one connection; and
+//!   [`drive_fleet_remote`], the fleet's remote mode.
+//!
+//! Everything is `std`-only: no async runtime, no serialization
+//! framework — one thread per connection and hand-rolled little-endian
+//! frames, which is both the fastest option at this report size and the
+//! only option in an offline build environment.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ldp_collector::{ClientFleet, Collector, CollectorConfig, FleetConfig};
+//! use ldp_core::{PipelineSpec, SessionKind};
+//! use ldp_server::{drive_fleet_loopback, RemoteCollector, Server, ServerConfig};
+//! use ldp_streams::synthetic::taxi_population;
+//! use std::sync::Arc;
+//!
+//! let collector = Arc::new(Collector::new(CollectorConfig::default()));
+//! let server = Server::bind(Arc::clone(&collector), ServerConfig::default()).unwrap();
+//!
+//! let population = taxi_population(20, 16, 7);
+//! let fleet = ClientFleet::new(FleetConfig {
+//!     spec: PipelineSpec::sw(SessionKind::Capp),
+//!     epsilon: 2.0,
+//!     w: 8,
+//!     seed: 99,
+//!     threads: 2,
+//! });
+//! let accepted = drive_fleet_loopback(&fleet, &population, 0..16, &server).unwrap();
+//! assert_eq!(accepted, 20 * 16);
+//!
+//! let mut client = RemoteCollector::connect(server.local_addr()).unwrap();
+//! let crowd = client.population_mean().unwrap().unwrap();
+//! assert!(crowd.is_finite());
+//! assert_eq!(client.summary().unwrap().total_reports, 20 * 16);
+//! ```
+
+pub mod client;
+pub mod serve;
+pub mod wire;
+
+pub use client::{drive_fleet_loopback, drive_fleet_remote, RemoteCollector};
+pub use serve::{Server, ServerConfig};
+pub use wire::{checksum, Frame, Header, StatsBody, SummaryBody, WireError, WIRE_VERSION};

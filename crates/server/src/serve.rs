@@ -1,0 +1,566 @@
+//! The multithreaded TCP service wrapping a [`Collector`] and its
+//! [`QueryEngine`].
+//!
+//! ```text
+//!                    ┌────────────────────────── Server ──────────────┐
+//! RemoteCollector ──▶│ conn thread ─ frames ─▶ Collector::ingest      │
+//! RemoteCollector ──▶│ conn thread ─ frames ─▶     │  (sharded)       │
+//!      …             │      …                      ▼                  │
+//! RemoteCollector ──▶│ conn thread ─ query ─▶ QueryEngine/LiveView    │
+//!                    │ accept thread │ refresher thread (paced)       │
+//!                    └────────────────────────────────────────────────┘
+//! ```
+//!
+//! * One OS thread per connection (bounded by
+//!   [`ServerConfig::max_connections`] — beyond it a connection is turned
+//!   away with a [`code::BUSY`] error frame before any read). Ingest
+//!   frames are fire-and-forget; TCP flow control *is* the backpressure:
+//!   a slow server simply stops draining its receive buffers and the
+//!   client's `write` blocks.
+//! * Queries are answered from the epoch-delta [`QueryEngine`]: each
+//!   query refreshes (bounded by the change set since the last refresh —
+//!   an O(shards) no-op when nothing changed) and reads the immutable
+//!   view; a paced background refresher keeps the view warm between
+//!   queries so the per-query delta stays small.
+//! * Framing errors (bad magic / version / checksum / payload) are
+//!   answered with an error frame and **close that connection only** —
+//!   after a framing error the stream position is untrustworthy, but
+//!   other connections are independent threads and keep serving.
+//! * Shutdown is graceful: [`Server::shutdown`] flips a flag; the accept
+//!   loop and every connection thread observe it within one poll
+//!   interval, finish their in-flight frame, and join.
+
+use crate::wire::{code, Frame, Header, StatsBody, SummaryBody, WireError, HEADER_LEN};
+use ldp_collector::{Collector, QueryEngine, ReportBatch};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Maximum connections served concurrently; extras are refused with a
+    /// [`code::BUSY`] error frame.
+    pub max_connections: usize,
+    /// Hard bound on accepted frame payload size (a hostile length field
+    /// is rejected before any allocation).
+    pub max_payload: u32,
+    /// Hard bound on the slot count a single [`Frame::QuerySlotMeans`]
+    /// may request (bounds the response allocation).
+    pub max_query_slots: u64,
+    /// Cadence of the background view refresher.
+    pub refresh_interval: Duration,
+    /// How often blocked reads / the accept loop wake to check for
+    /// shutdown — the upper bound on shutdown latency per thread.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_connections: 64,
+            max_payload: crate::wire::DEFAULT_MAX_PAYLOAD,
+            max_query_slots: 1 << 16,
+            refresh_interval: Duration::from_micros(500),
+            poll_interval: Duration::from_millis(20),
+        }
+    }
+}
+
+/// Server-side operational counters (lock-free; read by the stats query).
+#[derive(Debug, Default)]
+struct Counters {
+    active_connections: AtomicU64,
+    total_connections: AtomicU64,
+    rejected_connections: AtomicU64,
+    frames_decoded: AtomicU64,
+    frames_failed: AtomicU64,
+    queries_answered: AtomicU64,
+}
+
+/// State shared by the accept loop, refresher, and connection threads.
+struct Shared {
+    engine: QueryEngine<Arc<Collector>>,
+    counters: Counters,
+    shutdown: AtomicBool,
+    config: ServerConfig,
+}
+
+impl Shared {
+    fn collector(&self) -> &Collector {
+        self.engine.collector()
+    }
+
+    fn stats_body(&self) -> StatsBody {
+        let c = self.collector();
+        StatsBody {
+            accepted_reports: c.total_reports(),
+            dropped_reports: c.dropped_reports(),
+            rejected_reports: c.rejected_reports(),
+            active_connections: self.counters.active_connections.load(Ordering::Relaxed),
+            total_connections: self.counters.total_connections.load(Ordering::Relaxed),
+            rejected_connections: self.counters.rejected_connections.load(Ordering::Relaxed),
+            frames_decoded: self.counters.frames_decoded.load(Ordering::Relaxed),
+            frames_failed: self.counters.frames_failed.load(Ordering::Relaxed),
+            queries_answered: self.counters.queries_answered.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A running ingestion + query service. Dropping the handle shuts the
+/// server down (gracefully — see [`Self::shutdown`]).
+pub struct Server {
+    shared: Arc<Shared>,
+    collector: Arc<Collector>,
+    local_addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    refresher: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("local_addr", &self.local_addr)
+            .field("config", &self.shared.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Binds to an ephemeral loopback port (`127.0.0.1:0`) and starts
+    /// serving `collector`. The chosen address is [`Self::local_addr`].
+    ///
+    /// # Errors
+    /// Socket errors from bind/listen.
+    pub fn bind(collector: Arc<Collector>, config: ServerConfig) -> std::io::Result<Self> {
+        Self::bind_addr(collector, ("127.0.0.1", 0), config)
+    }
+
+    /// Binds to `addr` and starts serving `collector`: spawns the accept
+    /// loop and the paced view refresher.
+    ///
+    /// # Errors
+    /// Socket errors from bind/listen.
+    pub fn bind_addr<A: ToSocketAddrs>(
+        collector: Arc<Collector>,
+        addr: A,
+        config: ServerConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            engine: QueryEngine::new(Arc::clone(&collector)),
+            counters: Counters::default(),
+            shutdown: AtomicBool::new(false),
+            config,
+        });
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("ldp-server-accept".into())
+                .spawn(move || accept_loop(&listener, &shared))?
+        };
+        let refresher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("ldp-server-refresh".into())
+                .spawn(move || {
+                    while !shared.shutdown.load(Ordering::Acquire) {
+                        shared.engine.refresh();
+                        std::thread::sleep(shared.config.refresh_interval);
+                    }
+                })?
+        };
+        Ok(Self {
+            shared,
+            collector,
+            local_addr,
+            accept: Some(accept),
+            refresher: Some(refresher),
+        })
+    }
+
+    /// The address the server is listening on.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The collector this server ingests into (shared handle — callers
+    /// can snapshot/query it in-process at any time).
+    #[must_use]
+    pub fn collector(&self) -> &Arc<Collector> {
+        &self.collector
+    }
+
+    /// Current operational counters (what the stats query frame serves).
+    #[must_use]
+    pub fn stats(&self) -> StatsBody {
+        self.shared.stats_body()
+    }
+
+    /// Graceful shutdown: stops accepting, lets every connection thread
+    /// finish its in-flight frame, and joins all service threads. Called
+    /// automatically on drop; idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.refresher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Accept loop: polls the nonblocking listener, enforces the connection
+/// limit, spawns one handler thread per accepted connection, and joins
+/// them all on shutdown.
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let mut handles: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                handles.retain(|h| !h.is_finished());
+                let active = shared.counters.active_connections.load(Ordering::Relaxed);
+                if active >= shared.config.max_connections as u64 {
+                    shared
+                        .counters
+                        .rejected_connections
+                        .fetch_add(1, Ordering::Relaxed);
+                    refuse_busy(stream);
+                    continue;
+                }
+                shared
+                    .counters
+                    .total_connections
+                    .fetch_add(1, Ordering::Relaxed);
+                shared
+                    .counters
+                    .active_connections
+                    .fetch_add(1, Ordering::Relaxed);
+                let conn_shared = Arc::clone(shared);
+                let handle = std::thread::Builder::new()
+                    .name("ldp-server-conn".into())
+                    .spawn(move || {
+                        handle_connection(&conn_shared, stream);
+                        conn_shared
+                            .counters
+                            .active_connections
+                            .fetch_sub(1, Ordering::Relaxed);
+                    });
+                match handle {
+                    Ok(h) => handles.push(h),
+                    Err(_) => {
+                        // Spawn failed (resource exhaustion): undo the
+                        // active count; the stream drops closed.
+                        shared
+                            .counters
+                            .active_connections
+                            .fetch_sub(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(shared.config.poll_interval);
+            }
+            Err(_) => std::thread::sleep(shared.config.poll_interval),
+        }
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+}
+
+/// Best-effort busy refusal for a connection over the limit.
+fn refuse_busy(mut stream: TcpStream) {
+    // On some platforms the accepted socket inherits the listener's
+    // nonblocking flag; the refusal write must not spuriously fail.
+    let _ = stream.set_nonblocking(false);
+    let frame = Frame::Error {
+        code: code::BUSY,
+        message: "server at connection limit".into(),
+    };
+    let _ = stream.write_all(&frame.encode());
+}
+
+/// Outcome of an interruptible exact read.
+enum ReadOutcome {
+    /// Buffer filled.
+    Full,
+    /// Clean EOF before the first byte (peer closed between frames).
+    Eof,
+    /// EOF mid-buffer (peer died inside a frame).
+    TruncatedEof,
+    /// The server is shutting down.
+    Shutdown,
+    /// Hard transport error.
+    Failed,
+}
+
+/// Reads exactly `buf.len()` bytes, waking every read-timeout tick to
+/// check the shutdown flag — `read_exact` would eat the partial read on
+/// timeout, so the fill position is tracked explicitly.
+fn read_full(stream: &mut TcpStream, buf: &mut [u8], shared: &Shared) -> ReadOutcome {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    ReadOutcome::Eof
+                } else {
+                    ReadOutcome::TruncatedEof
+                }
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == ErrorKind::WouldBlock
+                    || e.kind() == ErrorKind::TimedOut
+                    || e.kind() == ErrorKind::Interrupted =>
+            {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return ReadOutcome::Shutdown;
+                }
+            }
+            Err(_) => return ReadOutcome::Failed,
+        }
+    }
+    ReadOutcome::Full
+}
+
+/// Per-connection ingest ledger (what [`Frame::IngestSync`] acknowledges).
+#[derive(Default)]
+struct ConnLedger {
+    accepted: u64,
+    dropped: u64,
+    rejected: u64,
+}
+
+/// Serves one connection until EOF, goodbye, framing error, or shutdown.
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    // Linux `accept` returns blocking sockets regardless of the listener,
+    // but Windows/BSD inherit the listener's nonblocking flag — and the
+    // read-timeout shutdown polling below requires a *blocking* socket
+    // (on a nonblocking one the timeout is a no-op and reads busy-spin).
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let mut ledger = ConnLedger::default();
+    let mut header_buf = [0u8; HEADER_LEN];
+    let mut payload = Vec::new();
+    let mut out = Vec::new();
+
+    loop {
+        match read_full(&mut stream, &mut header_buf, shared) {
+            ReadOutcome::Full => {}
+            ReadOutcome::Eof => return, // clean close at a frame boundary
+            ReadOutcome::TruncatedEof => {
+                shared
+                    .counters
+                    .frames_failed
+                    .fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            ReadOutcome::Shutdown | ReadOutcome::Failed => return,
+        }
+        let header = match Header::parse(&header_buf) {
+            Ok(h) if h.payload_len <= shared.config.max_payload => h,
+            Ok(h) => {
+                fail_frame(
+                    shared,
+                    &mut stream,
+                    &WireError::Oversized {
+                        len: h.payload_len,
+                        max: shared.config.max_payload,
+                    },
+                );
+                return;
+            }
+            Err(e) => {
+                fail_frame(shared, &mut stream, &e);
+                return;
+            }
+        };
+        payload.clear();
+        payload.resize(header.payload_len as usize, 0);
+        match read_full(&mut stream, &mut payload, shared) {
+            ReadOutcome::Full => {}
+            ReadOutcome::Eof | ReadOutcome::TruncatedEof => {
+                shared
+                    .counters
+                    .frames_failed
+                    .fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            ReadOutcome::Shutdown | ReadOutcome::Failed => return,
+        }
+        let frame = match header
+            .verify(&payload)
+            .and_then(|()| Frame::decode_body(header.frame_type, &payload))
+        {
+            Ok(frame) => frame,
+            Err(e) => {
+                fail_frame(shared, &mut stream, &e);
+                return;
+            }
+        };
+        shared
+            .counters
+            .frames_decoded
+            .fetch_add(1, Ordering::Relaxed);
+
+        let reply = match frame {
+            Frame::Ingest {
+                rejected_upstream,
+                users,
+                slots,
+                values,
+            } => {
+                let batch = ReportBatch::from_columns(users, slots, values);
+                let collector = shared.collector();
+                collector.note_upstream_rejections(rejected_upstream);
+                let outcome = collector.ingest_outcome(&batch);
+                // Saturating: `rejected_upstream` is client-controlled, so
+                // a hostile u64::MAX must pin the ledger at the ceiling,
+                // not panic (debug) or wrap to garbage (release).
+                ledger.accepted = ledger.accepted.saturating_add(outcome.accepted);
+                ledger.dropped = ledger.dropped.saturating_add(outcome.dropped);
+                ledger.rejected = ledger
+                    .rejected
+                    .saturating_add(outcome.rejected)
+                    .saturating_add(rejected_upstream);
+                None // fire-and-forget
+            }
+            Frame::IngestSync => Some(Frame::IngestAck {
+                accepted: ledger.accepted,
+                dropped: ledger.dropped,
+                rejected: ledger.rejected,
+            }),
+            Frame::QueryPopulationMean => {
+                shared
+                    .counters
+                    .queries_answered
+                    .fetch_add(1, Ordering::Relaxed);
+                shared.engine.refresh();
+                Some(Frame::PopulationMean {
+                    mean: shared.engine.view().population_mean(),
+                })
+            }
+            Frame::QueryWindowedMean { start, end } => {
+                shared
+                    .counters
+                    .queries_answered
+                    .fetch_add(1, Ordering::Relaxed);
+                Some(if start >= end {
+                    bad_query("windowed mean over an empty or inverted range")
+                } else {
+                    shared.engine.refresh();
+                    Frame::WindowedMean {
+                        mean: shared
+                            .engine
+                            .view()
+                            .windowed_mean(start as usize..end as usize),
+                    }
+                })
+            }
+            Frame::QuerySlotMeans { start, end } => {
+                shared
+                    .counters
+                    .queries_answered
+                    .fetch_add(1, Ordering::Relaxed);
+                Some(if start >= end {
+                    bad_query("slot means over an empty or inverted range")
+                } else if end - start > shared.config.max_query_slots {
+                    bad_query("slot range exceeds the server's bound")
+                } else {
+                    shared.engine.refresh();
+                    let view = shared.engine.view();
+                    Frame::SlotMeans {
+                        start,
+                        means: (start..end).map(|s| view.slot_mean(s as usize)).collect(),
+                    }
+                })
+            }
+            Frame::QuerySummary => {
+                shared
+                    .counters
+                    .queries_answered
+                    .fetch_add(1, Ordering::Relaxed);
+                shared.engine.refresh();
+                let view = shared.engine.view();
+                Some(Frame::Summary(SummaryBody {
+                    total_reports: view.total_reports(),
+                    user_count: view.user_count() as u64,
+                    retained_base: view.retained_base(),
+                    slot_end: view.slot_end(),
+                    frozen_count: view.frozen().count,
+                    population_mean: view.population_mean(),
+                }))
+            }
+            Frame::QueryStats => {
+                shared
+                    .counters
+                    .queries_answered
+                    .fetch_add(1, Ordering::Relaxed);
+                Some(Frame::Stats(shared.stats_body()))
+            }
+            Frame::Goodbye => return,
+            // Server-to-client frames arriving at the server: the frame
+            // parsed, so the stream is still in sync — answer with an
+            // error and keep serving.
+            Frame::IngestAck { .. }
+            | Frame::PopulationMean { .. }
+            | Frame::WindowedMean { .. }
+            | Frame::SlotMeans { .. }
+            | Frame::Summary(_)
+            | Frame::Stats(_)
+            | Frame::Error { .. } => Some(Frame::Error {
+                code: code::UNSUPPORTED,
+                message: "frame type is server-to-client".into(),
+            }),
+        };
+
+        if let Some(reply) = reply {
+            out.clear();
+            reply.encode_into(&mut out);
+            if stream.write_all(&out).is_err() {
+                return;
+            }
+        }
+    }
+}
+
+/// Builds the BAD_QUERY error reply.
+fn bad_query(message: &str) -> Frame {
+    Frame::Error {
+        code: code::BAD_QUERY,
+        message: message.into(),
+    }
+}
+
+/// Counts a framing failure and sends a best-effort error frame; the
+/// caller closes the connection (the stream position is untrustworthy
+/// after a framing error).
+fn fail_frame(shared: &Shared, stream: &mut TcpStream, error: &WireError) {
+    shared
+        .counters
+        .frames_failed
+        .fetch_add(1, Ordering::Relaxed);
+    let frame = Frame::Error {
+        code: code::MALFORMED,
+        message: error.to_string(),
+    };
+    let _ = stream.write_all(&frame.encode());
+}

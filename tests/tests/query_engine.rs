@@ -87,7 +87,7 @@ fn concurrent_ingest_while_query_stress() {
     assert_eq!(view.total_reports(), expected);
     assert_eq!(snapshot.total_reports(), expected);
     assert_eq!(view.user_count(), snapshot.user_count());
-    assert_eq!(view.per_user_means(), snapshot.per_user_means());
+    assert_eq!(engine.per_user_means(), snapshot.per_user_means());
 }
 
 /// A long stream (≥ 100× the retention window) holds collector memory at
@@ -184,7 +184,7 @@ proptest! {
         let live_pop = view.population_mean().unwrap();
         let full_pop = reference.population_mean().unwrap();
         prop_assert!((live_pop - full_pop).abs() < 1e-9);
-        let (a, b) = (view.per_user_means(), reference.per_user_means());
+        let (a, b) = (engine.per_user_means(), reference.per_user_means());
         prop_assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(&b) {
             prop_assert!((x - y).abs() < 1e-9);

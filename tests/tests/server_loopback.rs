@@ -1,0 +1,326 @@
+//! End-to-end guarantees of the framed TCP service:
+//!
+//! 1. **Transport transparency** — a fleet driven through
+//!    `RemoteCollector` → loopback TCP → `Server` → `Collector` agrees
+//!    with the in-process path to ≤ 1e-9 on `population_mean` and every
+//!    windowed slot mean, for the same seeded report stream.
+//! 2. **Robustness** — malformed frames (garbage, truncation, bad
+//!    checksum, wrong version, hostile lengths) are rejected without
+//!    panicking, and only the offending connection is closed: other
+//!    connections keep ingesting and querying.
+//! 3. **Accounting** — the server's stats frame reports exactly what the
+//!    collector and the connection ledgers saw.
+
+use ldp_collector::{ClientFleet, Collector, CollectorConfig, FleetConfig, ReportBatch};
+use ldp_core::online::{PipelineSpec, SessionKind};
+use ldp_server::wire::{checksum, code, Frame, HEADER_LEN, MAGIC, WIRE_VERSION};
+use ldp_server::{drive_fleet_loopback, RemoteCollector, Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+fn server(shards: usize) -> Server {
+    let collector = Arc::new(Collector::new(CollectorConfig {
+        shards,
+        ..CollectorConfig::default()
+    }));
+    Server::bind(collector, ServerConfig::default()).expect("bind loopback")
+}
+
+fn fleet(threads: usize, seed: u64) -> ClientFleet {
+    ClientFleet::new(FleetConfig {
+        spec: PipelineSpec::sw(SessionKind::Capp),
+        epsilon: 2.0,
+        w: 8,
+        seed,
+        threads,
+    })
+}
+
+/// The satellite agreement test: remote-vs-in-process ≤ 1e-9.
+#[test]
+fn remote_fleet_agrees_with_in_process_fleet() {
+    let (users, slots) = (60, 40);
+    let population = ldp_streams::synthetic::taxi_population(users, slots, 21);
+    let fleet = fleet(4, 1234);
+
+    // In-process reference.
+    let local = Collector::new(CollectorConfig {
+        shards: 4,
+        ..CollectorConfig::default()
+    });
+    let local_accepted = fleet.drive(&population, 0..slots, &local).unwrap();
+    let reference = local.snapshot();
+
+    // Remote path over real loopback TCP.
+    let srv = server(4);
+    let remote_accepted = drive_fleet_loopback(&fleet, &population, 0..slots, &srv).unwrap();
+    assert_eq!(remote_accepted, local_accepted, "every report arrived");
+
+    // Queries answered over the wire agree with the local snapshot.
+    let mut client = RemoteCollector::connect(srv.local_addr()).unwrap();
+    let remote_pop = client.population_mean().unwrap().unwrap();
+    let local_pop = reference.population_mean().unwrap();
+    assert!(
+        (remote_pop - local_pop).abs() <= 1e-9,
+        "population mean drifted over the wire: {remote_pop} vs {local_pop}"
+    );
+    // Windowed means: every window of width w, plus the full range.
+    let w = 8usize;
+    for start in 0..=(slots - w) {
+        let remote = client
+            .windowed_mean(start as u64..(start + w) as u64)
+            .unwrap()
+            .unwrap();
+        let local = reference.windowed_mean(start..start + w).unwrap();
+        assert!(
+            (remote - local).abs() <= 1e-9,
+            "window {start}..{}: {remote} vs {local}",
+            start + w
+        );
+    }
+    let remote_full = client.windowed_mean(0..slots as u64).unwrap().unwrap();
+    let local_full = reference.windowed_mean(0..slots).unwrap();
+    assert!((remote_full - local_full).abs() <= 1e-9);
+
+    // Per-slot means agree slot-for-slot.
+    let means = client.slot_means(0..slots as u64).unwrap();
+    assert_eq!(means.len(), slots);
+    for (slot, remote) in means.iter().enumerate() {
+        let local = reference.slot_mean(slot).unwrap();
+        assert!((remote.unwrap() - local).abs() <= 1e-9, "slot {slot}");
+    }
+
+    // The server-side collector is *exactly* as populated as the local
+    // one on per-user state (each user's reports ride one connection, so
+    // per-user sums are order-identical).
+    let served = srv.collector().snapshot();
+    assert_eq!(served.total_reports(), reference.total_reports());
+    assert_eq!(served.per_user_means(), reference.per_user_means());
+
+    // Summary + stats frames account for everything.
+    let summary = client.summary().unwrap();
+    assert_eq!(summary.total_reports, local_accepted);
+    assert_eq!(summary.user_count, users as u64);
+    assert_eq!(summary.slot_end, slots as u64);
+    let stats = client.server_stats().unwrap();
+    assert_eq!(stats.accepted_reports, local_accepted);
+    assert_eq!(stats.dropped_reports, 0);
+    assert_eq!(stats.frames_failed, 0);
+    assert!(
+        stats.frames_decoded >= users as u64,
+        "one ingest frame per user"
+    );
+    assert!(stats.queries_answered > 0);
+}
+
+/// Ingest acks carry the per-connection disposition ledger, and
+/// client-side rejections reach the server's books.
+#[test]
+fn ingest_sync_ledger_accounts_for_drops_and_rejects() {
+    let collector = Arc::new(Collector::new(CollectorConfig {
+        shards: 2,
+        max_slots: 100,
+        ..CollectorConfig::default()
+    }));
+    let srv = Server::bind(collector, ServerConfig::default()).unwrap();
+    let mut client = RemoteCollector::connect(srv.local_addr()).unwrap();
+
+    let mut batch = ReportBatch::new();
+    batch.push(1, 0, 0.5); // accepted
+    batch.push(2, 500, 0.5); // dropped (slot ≥ max_slots)
+    batch.push(3, 1, f64::NAN); // rejected client-side, never enters the batch
+    batch.push(4, 2, 0.25); // accepted
+    client.ingest(&batch).unwrap();
+    let totals = client.sync().unwrap();
+    assert_eq!(totals.accepted, 2);
+    assert_eq!(totals.dropped, 1);
+    assert_eq!(totals.rejected, 1, "client-side NaN reaches the ledger");
+
+    let stats = client.server_stats().unwrap();
+    assert_eq!(stats.accepted_reports, 2);
+    assert_eq!(stats.dropped_reports, 1);
+    assert_eq!(stats.rejected_reports, 1);
+
+    // A NaN smuggled around ReportBatch::push (raw columns, as a buggy
+    // client could) is still screened server-side.
+    let poison = ReportBatch::from_columns(vec![9], vec![3], vec![f64::INFINITY]);
+    client.ingest(&poison).unwrap();
+    let totals = client.sync().unwrap();
+    assert_eq!(totals.rejected, 2);
+    assert!(srv
+        .collector()
+        .snapshot()
+        .slots()
+        .iter()
+        .all(|s| s.sum.is_finite()));
+}
+
+/// Malformed input closes only the offending connection; a healthy
+/// connection opened before keeps working, and the server never panics.
+#[test]
+fn malformed_frames_reject_without_killing_other_connections() {
+    let srv = server(2);
+    let addr = srv.local_addr();
+    let mut healthy = RemoteCollector::connect(addr).unwrap();
+    healthy
+        .ingest(&ReportBatch::from_stream(1, 0, &[0.5, 0.75]))
+        .unwrap();
+    assert_eq!(healthy.sync().unwrap().accepted, 2);
+
+    let expect_error_then_close = |raw: &[u8], what: &str| {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(raw).unwrap();
+        // The server answers with an error frame, then closes.
+        let mut reply = Vec::new();
+        stream.read_to_end(&mut reply).unwrap();
+        let (frame, _) = Frame::decode(&reply, ldp_server::wire::DEFAULT_MAX_PAYLOAD)
+            .unwrap_or_else(|e| {
+                panic!(
+                    "{what}: server reply not a frame ({e}); got {} bytes",
+                    reply.len()
+                )
+            });
+        match frame {
+            Frame::Error { code: c, .. } => assert_eq!(c, code::MALFORMED, "{what}"),
+            other => panic!("{what}: expected error frame, got {other:?}"),
+        }
+    };
+
+    // Garbage that is not even a header.
+    expect_error_then_close(&[0xAB; HEADER_LEN], "garbage header");
+
+    // Unknown version byte.
+    let mut bad_version = Frame::IngestSync.encode();
+    bad_version[4] = WIRE_VERSION + 7;
+    expect_error_then_close(&bad_version, "unknown version");
+
+    // Corrupt payload checksum.
+    let mut bad_sum = Frame::QueryWindowedMean { start: 0, end: 4 }.encode();
+    let last = bad_sum.len() - 1;
+    bad_sum[last] ^= 0xFF;
+    expect_error_then_close(&bad_sum, "bad checksum");
+
+    // Oversized length field: rejected before any allocation.
+    let mut oversized = Vec::new();
+    oversized.extend_from_slice(&MAGIC);
+    oversized.push(WIRE_VERSION);
+    oversized.push(2); // IngestSync
+    oversized.extend_from_slice(&[0, 0]);
+    oversized.extend_from_slice(&u32::MAX.to_le_bytes());
+    oversized.extend_from_slice(&checksum(&[]).to_le_bytes());
+    expect_error_then_close(&oversized, "oversized length");
+
+    // Unknown frame type.
+    let mut unknown = Frame::IngestSync.encode();
+    unknown[5] = 250;
+    expect_error_then_close(&unknown, "unknown frame type");
+
+    // Truncated frame: header promises payload, peer hangs up early.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let full = Frame::QueryWindowedMean { start: 0, end: 4 }.encode();
+        stream.write_all(&full[..full.len() - 3]).unwrap();
+        drop(stream); // EOF mid-payload
+    }
+
+    // Through all of that, the healthy connection still serves.
+    healthy
+        .ingest(&ReportBatch::from_stream(2, 0, &[0.25, 0.5]))
+        .unwrap();
+    assert_eq!(healthy.sync().unwrap().accepted, 4);
+    assert!(healthy.population_mean().unwrap().is_some());
+    // The truncated-EOF connection races the accept loop: poll until the
+    // server has processed (and counted) all six malformed streams.
+    let mut stats = healthy.server_stats().unwrap();
+    for _ in 0..200 {
+        if stats.frames_failed >= 6 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        stats = healthy.server_stats().unwrap();
+    }
+    assert!(
+        stats.frames_failed >= 6,
+        "each malformed stream counted: {stats:?}"
+    );
+    assert_eq!(srv.collector().total_reports(), 4);
+}
+
+/// Query-level errors (bad arguments) keep the connection open.
+#[test]
+fn bad_queries_error_but_do_not_close_the_connection() {
+    let srv = server(1);
+    let mut client = RemoteCollector::connect(srv.local_addr()).unwrap();
+    client
+        .ingest(&ReportBatch::from_stream(1, 0, &[0.5]))
+        .unwrap();
+    client.sync().unwrap();
+
+    // Inverted/empty ranges are refused…
+    let err = client.windowed_mean(5..5).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    #[allow(clippy::reversed_empty_ranges)] // the inverted range IS the test
+    let err = client.slot_means(9..3).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    // …as is a range that would force a huge response allocation.
+    let err = client.slot_means(0..u64::MAX).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+
+    // The same connection keeps answering well-formed queries.
+    assert!(client.windowed_mean(0..1).unwrap().is_some());
+    assert_eq!(client.summary().unwrap().total_reports, 1);
+}
+
+/// The connection limit turns extra clients away with a BUSY error frame
+/// while existing connections keep working, and graceful shutdown joins
+/// everything.
+#[test]
+fn connection_limit_and_graceful_shutdown() {
+    let collector = Arc::new(Collector::new(CollectorConfig {
+        shards: 1,
+        ..CollectorConfig::default()
+    }));
+    let mut srv = Server::bind(
+        collector,
+        ServerConfig {
+            max_connections: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = srv.local_addr();
+
+    let mut first = RemoteCollector::connect(addr).unwrap();
+    first
+        .ingest(&ReportBatch::from_stream(1, 0, &[0.5]))
+        .unwrap();
+    assert_eq!(first.sync().unwrap().accepted, 1);
+
+    // Second connection: refused with BUSY (the refusal frame may race
+    // the accept loop, so poll until the counter shows it).
+    let mut refused = false;
+    for _ in 0..50 {
+        let mut second = match RemoteCollector::connect(addr) {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+        match second.population_mean() {
+            Err(e) if e.kind() == std::io::ErrorKind::ConnectionRefused => {
+                refused = true;
+                break;
+            }
+            // Connection dropped without a frame, or raced shutdown of a
+            // previous refusal — retry.
+            _ => std::thread::sleep(std::time::Duration::from_millis(5)),
+        }
+    }
+    assert!(refused, "over-limit connection was never refused with BUSY");
+    assert!(srv.stats().rejected_connections >= 1);
+
+    // The first connection is untouched by the refusals.
+    assert!(first.population_mean().unwrap().is_some());
+
+    srv.shutdown(); // idempotent, joins accept/refresher/conn threads
+    srv.shutdown();
+}
