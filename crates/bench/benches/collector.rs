@@ -20,9 +20,7 @@ fn env_usize(key: &str, default: usize) -> usize {
 fn main() {
     let users = env_usize("LDP_BENCH_USERS", 2_500);
     let slots = env_usize("LDP_BENCH_SLOTS", 400);
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
+    let threads = ldp_collector::default_parallelism();
     eprintln!(
         "# collector bench: {users} users x {slots} slots ({} reports), {threads} threads",
         users * slots

@@ -24,9 +24,7 @@ fn env_usize(key: &str, default: usize) -> usize {
 fn main() {
     let users = env_usize("LDP_BENCH_USERS", 2_000);
     let slots = env_usize("LDP_BENCH_SLOTS", 250);
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
+    let threads = ldp_collector::default_parallelism();
     let (epsilon, w) = (2.0, 10);
     eprintln!(
         "# pipeline grid bench: {users} users x {slots} slots ({} reports/cell), \

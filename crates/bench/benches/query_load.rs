@@ -29,9 +29,7 @@ fn main() {
     let users = env_usize("LDP_BENCH_USERS", 2_500);
     let slots = env_usize("LDP_BENCH_SLOTS", 400);
     let retention = env_usize("LDP_BENCH_RETENTION", 64) as u64;
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
+    let threads = ldp_collector::default_parallelism();
     let (epsilon, w) = (2.0, 10);
     eprintln!(
         "# query load bench: {users} users x {slots} slots ({} reports), \

@@ -1,0 +1,143 @@
+//! Wire-codec micro-benchmarks: encode/decode throughput for the frames
+//! that matter — ingest (the hot path, owned vs borrowed decode) and the
+//! query family — plus the downstream ingest fold, so a codec regression
+//! and an engine regression are distinguishable from one run.
+//!
+//! Run: `cargo bench -p ldp-bench --bench wire_codec`. Scale with
+//! `LDP_BENCH_BATCH` (reports per ingest frame, default 8192) and
+//! `LDP_BENCH_USERS` (distinct users, default 10,000).
+
+use ldp_collector::{Collector, CollectorConfig, ReportBatch};
+use ldp_server::wire::{Frame, FrameView, Header, IngestScratch, HEADER_LEN};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Times `f` until ~0.4s is spent and reports reports/s for `reports`
+/// reports handled per call.
+fn bench(name: &str, reports: usize, mut f: impl FnMut()) {
+    // Warm-up (fills scratch capacities so the steady state is measured).
+    for _ in 0..4 {
+        f();
+    }
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed().as_secs_f64() < 0.4 {
+        f();
+        iters += 1;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let rate = iters as f64 * reports as f64 / elapsed;
+    println!("{name:<34} {rate:>13.0} reports/s  ({iters} iters)");
+}
+
+fn main() {
+    let batch_size = env_usize("LDP_BENCH_BATCH", 8_192);
+    let users = env_usize("LDP_BENCH_USERS", 10_000) as u64;
+    println!("# wire codec bench: {batch_size}-report ingest frames, {users} users");
+
+    // A random-user batch — the shape a multi-tenant ingest connection
+    // carries (contrast: the fleet uploads single-user batches).
+    let mut batch = ReportBatch::with_capacity(batch_size);
+    let mut state = 0x9E37_79B9u64;
+    for i in 0..batch_size {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1442695040888963407);
+        batch.push(
+            (state >> 33) % users,
+            (i % 256) as u64,
+            ((state >> 11) % 2048) as f64 / 2048.0,
+        );
+    }
+
+    let mut frame_bytes = Vec::new();
+    Frame::encode_ingest_into(&batch, &mut frame_bytes);
+    let header = Header::parse(frame_bytes[..HEADER_LEN].try_into().unwrap()).unwrap();
+    let payload = &frame_bytes[HEADER_LEN..];
+
+    let mut buf = Vec::new();
+    bench("encode ingest (into reused buf)", batch_size, || {
+        buf.clear();
+        Frame::encode_ingest_into(black_box(&batch), &mut buf);
+        black_box(&buf);
+    });
+
+    bench("verify checksum", batch_size, || {
+        black_box(header.verify(black_box(payload))).unwrap();
+    });
+
+    bench("decode ingest (owned Frame)", batch_size, || {
+        black_box(Frame::decode_body(header.frame_type, black_box(payload)).unwrap());
+    });
+
+    let mut scratch = IngestScratch::default();
+    bench("decode ingest (borrowed view)", batch_size, || {
+        let view = FrameView::decode_body(header.frame_type, black_box(payload)).unwrap();
+        match view {
+            FrameView::Ingest(v) => {
+                black_box(v.columns(&mut scratch));
+            }
+            _ => unreachable!(),
+        }
+    });
+
+    let collector = Collector::new(CollectorConfig {
+        shards: 4,
+        ..CollectorConfig::default()
+    });
+    bench("ingest fold (owned batch, 4 shards)", batch_size, || {
+        black_box(collector.ingest_outcome(black_box(&batch)));
+    });
+
+    let collector1 = Collector::new(CollectorConfig {
+        shards: 1,
+        ..CollectorConfig::default()
+    });
+    bench("ingest fold (owned batch, 1 shard)", batch_size, || {
+        black_box(collector1.ingest_outcome(black_box(&batch)));
+    });
+
+    bench("decode borrowed + fold (1 shard)", batch_size, || {
+        let view = FrameView::decode_body(header.frame_type, black_box(payload)).unwrap();
+        match view {
+            FrameView::Ingest(v) => {
+                let columns = v.columns(&mut scratch);
+                black_box(collector1.ingest_outcome(&columns));
+            }
+            _ => unreachable!(),
+        }
+    });
+
+    // Query-family frames: small, latency-path, round-tripped whole.
+    let query_frames: Vec<(&str, Frame)> = vec![
+        (
+            "query windowed mean",
+            Frame::QueryWindowedMean { start: 10, end: 26 },
+        ),
+        (
+            "slot means response (64 slots)",
+            Frame::SlotMeans {
+                start: 0,
+                means: (0..64)
+                    .map(|i| (i % 5 != 0).then(|| i as f64 / 64.0))
+                    .collect(),
+            },
+        ),
+    ];
+    for (name, frame) in &query_frames {
+        let bytes = frame.encode();
+        let mut out = Vec::new();
+        bench(&format!("round-trip {name}"), 1, || {
+            out.clear();
+            frame.encode_into(&mut out);
+            black_box(Frame::decode(black_box(&bytes), u32::MAX).unwrap());
+        });
+    }
+}

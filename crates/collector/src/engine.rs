@@ -1,13 +1,29 @@
 //! The sharded collector engine.
 
 use crate::accumulator::{ShardAccumulator, SlotRetention};
-use crate::report::ReportBatch;
+use crate::report::AsReportColumns;
 use crate::snapshot::CollectorSnapshot;
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Mutex, MutexGuard, OnceLock};
 
 /// Default bound on the dense slot range (see [`CollectorConfig::max_slots`]).
 pub const DEFAULT_MAX_SLOTS: u64 = 1 << 20;
+
+/// The machine's available parallelism, queried once and cached — the
+/// single number collector shard defaults, fleet thread counts, and
+/// server sizing all consult, so the three can never disagree within a
+/// process (and the syscall is not re-issued on every
+/// [`CollectorConfig::default`]).
+#[must_use]
+pub fn default_parallelism() -> usize {
+    static PARALLELISM: OnceLock<usize> = OnceLock::new();
+    *PARALLELISM.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4)
+    })
+}
 
 /// Collector tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -30,13 +46,11 @@ pub struct CollectorConfig {
 }
 
 impl Default for CollectorConfig {
-    /// One shard per available core (capped at 16); slot bound
-    /// [`DEFAULT_MAX_SLOTS`]; unbounded retention.
+    /// One shard per available core (capped at 16, via the process-wide
+    /// cached [`default_parallelism`]); slot bound [`DEFAULT_MAX_SLOTS`];
+    /// unbounded retention.
     fn default() -> Self {
-        let shards = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(16);
+        let shards = default_parallelism().min(16);
         Self {
             shards,
             max_slots: DEFAULT_MAX_SLOTS,
@@ -52,6 +66,35 @@ impl Default for CollectorConfig {
 struct Shard {
     acc: Mutex<ShardAccumulator>,
     epoch: AtomicU64,
+}
+
+/// Reusable multi-shard routing scratch: one counting sort that turns a
+/// batch into **contiguous per-shard index runs**, so the fold phase takes
+/// each touched shard's lock exactly once, walks one cache-friendly run
+/// under it, and the steady state allocates nothing (the scratch lives in
+/// a thread-local and keeps its capacity across batches).
+#[derive(Debug, Default)]
+struct ShardScratch {
+    /// Routing decision per report: the shard index, or [`SKIP`] for a
+    /// report screened out (slot out of bounds / non-finite value).
+    shard: Vec<u32>,
+    /// Per-shard accepted-report counts, then reused as scatter cursors.
+    cursors: Vec<u32>,
+    /// Run boundaries: shard `s` owns `idx[starts[s] as usize..starts[s + 1] as usize]`.
+    starts: Vec<u32>,
+    /// Report indices grouped by shard — the contiguous runs.
+    idx: Vec<u32>,
+}
+
+/// Sentinel shard id for a screened-out report (an engine never has
+/// `u32::MAX` shards; [`Collector::new`] would exhaust memory first).
+const SKIP: u32 = u32::MAX;
+
+thread_local! {
+    /// Each ingesting thread routes through its own scratch — connection
+    /// threads and fleet workers never contend on it, and a long-lived
+    /// thread reaches a zero-allocation steady state.
+    static SHARD_SCRATCH: RefCell<ShardScratch> = RefCell::new(ShardScratch::default());
 }
 
 /// Per-batch ingest ledger: how [`Collector::ingest_outcome`] disposed of
@@ -122,40 +165,38 @@ impl Collector {
         (user.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % self.shards.len()
     }
 
-    /// Ingests one batch, locking each touched shard once. Returns the
-    /// number of reports accepted; reports with `slot >= max_slots` are
-    /// dropped (see [`Self::dropped_reports`]) and non-finite values are
-    /// rejected (see [`Self::rejected_reports`]) — [`ReportBatch::push`]
-    /// already refuses non-finite values, so the ingest-side guard is
-    /// defense in depth against batches built some other way.
+    /// Ingests one batch — owned [`crate::ReportBatch`] or borrowed
+    /// [`crate::ReportColumns`] view — locking each touched shard once.
+    /// Returns the number of reports accepted; reports with
+    /// `slot >= max_slots` are dropped (see [`Self::dropped_reports`]) and
+    /// non-finite values are rejected (see [`Self::rejected_reports`]) —
+    /// [`crate::ReportBatch::push`] already refuses non-finite values, so
+    /// the ingest-side guard is defense in depth against columns built
+    /// some other way (e.g. straight off the wire).
     ///
     /// The batch is columnar: the shard-routing pass reads only the user
-    /// column, and accumulation streams the slot/value columns. Single-
-    /// user batches — the shape every [`crate::ClientFleet`] upload has —
-    /// take a fast path: one shard lock, no partitioning allocation.
-    pub fn ingest(&self, batch: &ReportBatch) -> usize {
+    /// column (screening slots and values as it routes), and accumulation
+    /// streams the slot/value columns. Single-shard destinations — every
+    /// [`crate::ClientFleet`] upload, and any collector configured with
+    /// one shard — take a fast path: one lock, no routing scratch. Multi-
+    /// shard batches counting-sort their indices into contiguous per-shard
+    /// runs inside a reusable thread-local scratch, so each lock is held
+    /// over one cache-friendly run and the steady state performs no heap
+    /// allocation.
+    pub fn ingest<B: AsReportColumns + ?Sized>(&self, batch: &B) -> usize {
         self.ingest_outcome(batch).accepted as usize
     }
 
     /// Like [`Self::ingest`], but returns the full per-batch disposition
     /// ledger — what a network server needs to acknowledge an upload
     /// frame without re-deriving drop/reject counts from global deltas.
-    pub fn ingest_outcome(&self, batch: &ReportBatch) -> IngestOutcome {
-        let (users, slots, values) = (batch.users(), batch.slots(), batch.values());
+    pub fn ingest_outcome<B: AsReportColumns + ?Sized>(&self, batch: &B) -> IngestOutcome {
+        let columns = batch.report_columns();
+        let (users, slots, values) = (columns.users(), columns.slots(), columns.values());
         if users.is_empty() {
             return IngestOutcome::default();
         }
         let mut tally = IngestOutcome::default();
-        let fold = |shard: &mut ShardAccumulator, i: usize, t: &mut IngestOutcome| {
-            if slots[i] >= self.max_slots {
-                t.dropped += 1;
-            } else if !values[i].is_finite() {
-                t.rejected += 1;
-            } else {
-                shard.ingest_parts(users[i], slots[i], values[i]);
-                t.accepted += 1;
-            }
-        };
         let first_shard = self.shard_of(users[0]);
         let uniform =
             self.shards.len() == 1 || users.iter().all(|&u| self.shard_of(u) == first_shard);
@@ -163,31 +204,24 @@ impl Collector {
             let shard = &self.shards[first_shard];
             let mut acc = shard.acc.lock().expect("collector shard poisoned");
             for i in 0..users.len() {
-                fold(&mut acc, i, &mut tally);
+                if slots[i] >= self.max_slots {
+                    tally.dropped += 1;
+                } else if !values[i].is_finite() {
+                    tally.rejected += 1;
+                } else {
+                    acc.ingest_parts(users[i], slots[i], values[i]);
+                    tally.accepted += 1;
+                }
             }
+            drop(acc);
             if tally.accepted > 0 {
                 shard.epoch.fetch_add(1, Ordering::Release);
             }
         } else {
-            // Partition indices by shard first so each mutex is taken once.
-            let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
-            for (i, &user) in users.iter().enumerate() {
-                by_shard[self.shard_of(user)].push(i);
-            }
-            for (shard_idx, indices) in by_shard.iter().enumerate() {
-                if indices.is_empty() {
-                    continue;
-                }
-                let shard = &self.shards[shard_idx];
-                let before = tally.accepted;
-                let mut acc = shard.acc.lock().expect("collector shard poisoned");
-                for &i in indices {
-                    fold(&mut acc, i, &mut tally);
-                }
-                if tally.accepted > before {
-                    shard.epoch.fetch_add(1, Ordering::Release);
-                }
-            }
+            SHARD_SCRATCH.with(|scratch| {
+                let mut scratch = scratch.borrow_mut();
+                self.ingest_runs(&mut scratch, users, slots, values, &mut tally);
+            });
         }
         if tally.accepted > 0 {
             self.accepted.fetch_add(tally.accepted, Ordering::Relaxed);
@@ -199,6 +233,80 @@ impl Collector {
             self.rejected.fetch_add(tally.rejected, Ordering::Relaxed);
         }
         tally
+    }
+
+    /// The multi-shard ingest path: one **routing pass** computes each
+    /// report's shard and screens slot bounds and non-finite values (so
+    /// nothing is re-checked under a lock), a counting sort scatters the
+    /// accepted indices into contiguous per-shard runs inside `scratch`,
+    /// and the **fold pass** takes each touched shard's mutex once and
+    /// streams its run into the accumulator.
+    fn ingest_runs(
+        &self,
+        scratch: &mut ShardScratch,
+        users: &[u64],
+        slots: &[u64],
+        values: &[f64],
+        tally: &mut IngestOutcome,
+    ) {
+        let n_shards = self.shards.len();
+        scratch.cursors.clear();
+        scratch.cursors.resize(n_shards, 0);
+        scratch.shard.clear();
+        scratch.shard.reserve(users.len());
+        // Routing pass: shard + screen in one stream over the columns.
+        for i in 0..users.len() {
+            let destination = if slots[i] >= self.max_slots {
+                tally.dropped += 1;
+                SKIP
+            } else if !values[i].is_finite() {
+                tally.rejected += 1;
+                SKIP
+            } else {
+                let s = self.shard_of(users[i]);
+                scratch.cursors[s] += 1;
+                s as u32
+            };
+            scratch.shard.push(destination);
+        }
+        // Prefix-sum the counts into run boundaries, leaving `cursors`
+        // as each shard's scatter position.
+        scratch.starts.clear();
+        scratch.starts.reserve(n_shards + 1);
+        let mut total = 0u32;
+        for cursor in &mut scratch.cursors {
+            scratch.starts.push(total);
+            let count = *cursor;
+            *cursor = total;
+            total += count;
+        }
+        scratch.starts.push(total);
+        // Scatter pass: group accepted report indices by shard.
+        scratch.idx.clear();
+        scratch.idx.resize(total as usize, 0);
+        for (i, &destination) in scratch.shard.iter().enumerate() {
+            if destination != SKIP {
+                let cursor = &mut scratch.cursors[destination as usize];
+                scratch.idx[*cursor as usize] = i as u32;
+                *cursor += 1;
+            }
+        }
+        // Fold pass: one lock per touched shard, one contiguous run each.
+        for (shard_idx, shard) in self.shards.iter().enumerate() {
+            let run = &scratch.idx
+                [scratch.starts[shard_idx] as usize..scratch.starts[shard_idx + 1] as usize];
+            if run.is_empty() {
+                continue;
+            }
+            let mut acc = shard.acc.lock().expect("collector shard poisoned");
+            for &i in run {
+                let i = i as usize;
+                acc.ingest_parts(users[i], slots[i], values[i]);
+            }
+            drop(acc);
+            shard.epoch.fetch_add(1, Ordering::Release);
+            tally.accepted += run.len() as u64;
+        }
     }
 
     /// Total reports accepted so far, across all shards. Served from a
@@ -247,7 +355,7 @@ impl Collector {
     }
 
     /// Folds in rejections that happened upstream of ingest (e.g.
-    /// [`ReportBatch::push`] refusing a non-finite client report, or a
+    /// [`crate::ReportBatch::push`] refusing a non-finite client report, or a
     /// remote client's wire frame carrying its local rejection count), so
     /// [`Self::rejected_reports`] accounts for every poison value seen
     /// anywhere on the upload path.
@@ -267,7 +375,7 @@ impl Collector {
         let mut rows: Vec<(u64, u64, f64)> = Vec::new();
         for shard in &self.shards {
             let acc = shard.acc.lock().expect("collector shard poisoned");
-            rows.extend(acc.users().iter().map(|(&id, s)| (id, s.count, s.sum)));
+            rows.extend(acc.users().map(|(id, s)| (id, s.count, s.sum)));
         }
         rows.sort_unstable_by_key(|&(id, _, _)| id);
         rows

@@ -31,6 +31,10 @@ pub struct FleetConfig {
     /// Base seed; user `i` derives its RNG via [`user_seed`]`(seed, i)`.
     pub seed: u64,
     /// Worker threads driving the clients.
+    /// [`crate::default_parallelism`] is the natural choice — it is the
+    /// same cached number collector shard defaults and server sizing
+    /// consult, so fleet, engine, and service agree on the machine size.
+    /// Thread count never changes published values, only scheduling.
     pub threads: usize,
 }
 

@@ -80,11 +80,11 @@ pub mod report;
 pub mod snapshot;
 
 pub use accumulator::{ShardAccumulator, SlotRetention, SlotStats, UserStats};
-pub use engine::{Collector, CollectorConfig, IngestOutcome};
+pub use engine::{default_parallelism, Collector, CollectorConfig, IngestOutcome};
 pub use fleet::{
     user_seed, ClientFleet, CollectorSink, FleetConfig, FleetError, QueryLoadReport, ReportSink,
     ReseedingSession,
 };
 pub use query::{LiveView, QueryEngine};
-pub use report::{ReportBatch, SlotReport};
+pub use report::{AsReportColumns, ReportBatch, ReportColumns, SlotReport};
 pub use snapshot::{CollectorSnapshot, SlotTable};

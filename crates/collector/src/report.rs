@@ -5,8 +5,15 @@
 //! columns instead of an array of structs, so the shard routing pass
 //! touches only the `users` column and the accumulation pass streams the
 //! `values` column cache-line by cache-line — the layout the collector's
-//! ~15M reports/s hot path is built around. [`SlotReport`] survives as
+//! ~20M+ reports/s hot path is built around. [`SlotReport`] survives as
 //! the row view for element access and iteration.
+//!
+//! [`ReportColumns`] is the **borrowed** counterpart: the same three
+//! columns as slices over storage owned elsewhere (a wire decoder's
+//! reusable scratch, a sub-range of a bigger batch). Everything that can
+//! ingest an owned batch is generic over [`AsReportColumns`], so the
+//! zero-copy wire path feeds shard accumulators without ever
+//! materializing a `ReportBatch`.
 
 /// One perturbed report: user `user` published `value` for time slot
 /// `slot`. The value is already private — the collector never sees ground
@@ -189,6 +196,112 @@ impl ReportBatch {
     }
 }
 
+/// A borrowed struct-of-arrays view over report columns — the zero-copy
+/// ingestion unit. The columns may live in a wire decoder's reusable
+/// scratch, inside a [`ReportBatch`], or anywhere else; the collector
+/// ingests them identically (see [`AsReportColumns`]).
+///
+/// Values are *not* screened at construction (the columns may come
+/// straight off an untrusted upload); [`crate::Collector::ingest`]
+/// screens non-finite values during its routing pass, so a borrowed view
+/// still cannot poison shard accumulators.
+#[derive(Debug, Clone, Copy)]
+pub struct ReportColumns<'a> {
+    users: &'a [u64],
+    slots: &'a [u64],
+    values: &'a [f64],
+}
+
+impl<'a> ReportColumns<'a> {
+    /// Wraps three parallel columns.
+    ///
+    /// # Panics
+    /// Panics if the columns disagree in length.
+    #[must_use]
+    pub fn new(users: &'a [u64], slots: &'a [u64], values: &'a [f64]) -> Self {
+        assert!(
+            users.len() == slots.len() && slots.len() == values.len(),
+            "ReportColumns: column lengths disagree ({}/{}/{})",
+            users.len(),
+            slots.len(),
+            values.len()
+        );
+        Self {
+            users,
+            slots,
+            values,
+        }
+    }
+
+    /// Number of reports in the view.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Whether the view holds no reports.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// The user-id column.
+    #[must_use]
+    pub fn users(&self) -> &'a [u64] {
+        self.users
+    }
+
+    /// The slot-index column.
+    #[must_use]
+    pub fn slots(&self) -> &'a [u64] {
+        self.slots
+    }
+
+    /// The value column.
+    #[must_use]
+    pub fn values(&self) -> &'a [f64] {
+        self.values
+    }
+
+    /// Copies the view into an owned batch (the cold path; ingest never
+    /// needs this).
+    #[must_use]
+    pub fn to_batch(&self) -> ReportBatch {
+        ReportBatch::from_columns(
+            self.users.to_vec(),
+            self.slots.to_vec(),
+            self.values.to_vec(),
+        )
+    }
+}
+
+/// Anything the collector can ingest: an owned [`ReportBatch`] or a
+/// borrowed [`ReportColumns`] view. [`crate::Collector::ingest`] and
+/// [`crate::Collector::ingest_outcome`] are generic over this trait, so
+/// the wire path hands over borrowed scratch columns and the in-process
+/// path hands over its batch — same routing, same screening, same
+/// accumulation code.
+pub trait AsReportColumns {
+    /// The columns to ingest.
+    fn report_columns(&self) -> ReportColumns<'_>;
+}
+
+impl AsReportColumns for ReportBatch {
+    fn report_columns(&self) -> ReportColumns<'_> {
+        ReportColumns {
+            users: &self.users,
+            slots: &self.slots,
+            values: &self.values,
+        }
+    }
+}
+
+impl AsReportColumns for ReportColumns<'_> {
+    fn report_columns(&self) -> ReportColumns<'_> {
+        *self
+    }
+}
+
 impl FromIterator<SlotReport> for ReportBatch {
     fn from_iter<T: IntoIterator<Item = SlotReport>>(iter: T) -> Self {
         let mut batch = Self::new();
@@ -257,6 +370,30 @@ mod tests {
         assert_eq!(accepted, 2);
         assert_eq!(b.slots(), &[10, 12], "finite slots keep their indices");
         assert_eq!(b.rejected_non_finite(), 1);
+    }
+
+    #[test]
+    fn report_columns_view_tracks_the_batch() {
+        let mut b = ReportBatch::new();
+        b.push(1, 0, 0.5);
+        b.push(2, 3, 0.75);
+        let cols = b.report_columns();
+        assert_eq!(cols.len(), 2);
+        assert!(!cols.is_empty());
+        assert_eq!(cols.users(), b.users());
+        assert_eq!(cols.slots(), b.slots());
+        assert_eq!(cols.values(), b.values());
+        let owned = cols.to_batch();
+        assert_eq!(owned.users(), b.users());
+        // A view is itself a column source (the generic-ingest identity).
+        let again = cols.report_columns();
+        assert_eq!(again.slots(), cols.slots());
+    }
+
+    #[test]
+    #[should_panic(expected = "column lengths disagree")]
+    fn mismatched_columns_panic() {
+        let _ = ReportColumns::new(&[1, 2], &[0], &[0.5]);
     }
 
     #[test]

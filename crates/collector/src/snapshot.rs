@@ -204,7 +204,7 @@ impl CollectorSnapshot {
                 slots: shard.retained_slots().map(|(_, s)| *s).collect(),
                 frozen: *shard.frozen(),
             });
-            for (&id, stats) in shard.users() {
+            for (id, stats) in shard.users() {
                 users.push((id, stats.count, stats.sum));
             }
             total_reports += shard.reports();

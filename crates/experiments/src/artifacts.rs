@@ -422,9 +422,7 @@ pub fn collector_scale(cfg: &ExperimentConfig) -> String {
             epsilon,
             w,
             seed: cfg.sub_seed(&[12, scale as u64, 1]),
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4),
+            threads: ldp_collector::default_parallelism(),
         });
         let start = std::time::Instant::now();
         let reports = fleet
@@ -493,9 +491,7 @@ pub fn pipeline_grid(cfg: &ExperimentConfig) -> String {
                 epsilon,
                 w,
                 seed: cfg.sub_seed(&[13, 1]),
-                threads: std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(4),
+                threads: ldp_collector::default_parallelism(),
             });
             let start = std::time::Instant::now();
             let reports = fleet
@@ -549,9 +545,7 @@ pub fn query_load(cfg: &ExperimentConfig) -> String {
         epsilon,
         w,
         seed: cfg.sub_seed(&[14, 1]),
-        threads: std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4),
+        threads: ldp_collector::default_parallelism(),
     });
 
     // Unbounded reference, driven without query load.

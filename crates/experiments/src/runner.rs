@@ -36,9 +36,7 @@ pub enum Metric {
 }
 
 fn shard_counts(trials: usize) -> Vec<usize> {
-    let shards = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
+    let shards = ldp_collector::default_parallelism()
         .min(8)
         .min(trials.max(1));
     let base = trials / shards;

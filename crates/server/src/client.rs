@@ -25,7 +25,10 @@ pub struct RemoteCollector {
     stream: TcpStream,
     /// Reusable encode buffer (one frame at a time).
     out: Vec<u8>,
-    /// Reusable payload read buffer.
+    /// Reusable payload read buffer — grown to the largest reply seen,
+    /// then sliced per frame (never re-zeroed, never reallocated), so a
+    /// long-lived connection performs no per-frame heap allocation on
+    /// either the upload or the reply path.
     payload: Vec<u8>,
     max_payload: u32,
 }
@@ -185,11 +188,14 @@ impl RemoteCollector {
             }
             .into());
         }
-        self.payload.clear();
-        self.payload.resize(header.payload_len as usize, 0);
-        self.stream.read_exact(&mut self.payload)?;
-        header.verify(&self.payload).map_err(std::io::Error::from)?;
-        Frame::decode_body(header.frame_type, &self.payload).map_err(std::io::Error::from)
+        let payload_len = header.payload_len as usize;
+        if self.payload.len() < payload_len {
+            self.payload.resize(payload_len, 0);
+        }
+        let payload = &mut self.payload[..payload_len];
+        self.stream.read_exact(payload)?;
+        header.verify(payload).map_err(std::io::Error::from)?;
+        Frame::decode_body(header.frame_type, payload).map_err(std::io::Error::from)
     }
 }
 

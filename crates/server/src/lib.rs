@@ -63,4 +63,7 @@ pub mod wire;
 
 pub use client::{drive_fleet_loopback, drive_fleet_remote, RemoteCollector};
 pub use serve::{Server, ServerConfig};
-pub use wire::{checksum, Frame, Header, StatsBody, SummaryBody, WireError, WIRE_VERSION};
+pub use wire::{
+    checksum, Frame, FrameView, Header, IngestScratch, IngestView, SlotMeansView, StatsBody,
+    SummaryBody, WireError, WIRE_VERSION,
+};

@@ -30,8 +30,10 @@
 //!   loop and every connection thread observe it within one poll
 //!   interval, finish their in-flight frame, and join.
 
-use crate::wire::{code, Frame, Header, StatsBody, SummaryBody, WireError, HEADER_LEN};
-use ldp_collector::{Collector, QueryEngine, ReportBatch};
+use crate::wire::{
+    code, Frame, FrameView, Header, IngestScratch, StatsBody, SummaryBody, WireError, HEADER_LEN,
+};
+use ldp_collector::{Collector, QueryEngine};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -348,6 +350,14 @@ struct ConnLedger {
 }
 
 /// Serves one connection until EOF, goodbye, framing error, or shutdown.
+///
+/// The steady-state ingest path is **allocation- and copy-free**: the
+/// header and payload land in reusable buffers (grown once, never
+/// re-zeroed), the payload is parsed as a borrowed [`FrameView`], and an
+/// ingest frame's columns are decoded into the connection's
+/// [`IngestScratch`] and folded into the collector as a borrowed
+/// `ReportColumns` view — no `Vec` per frame, no owned `ReportBatch`, no
+/// re-partitioning copy.
 fn handle_connection(shared: &Shared, mut stream: TcpStream) {
     // Linux `accept` returns blocking sockets regardless of the listener,
     // but Windows/BSD inherit the listener's nonblocking flag — and the
@@ -359,7 +369,11 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
     let mut ledger = ConnLedger::default();
     let mut header_buf = [0u8; HEADER_LEN];
-    let mut payload = Vec::new();
+    // Payload buffer: grown to the largest frame seen, then reused as a
+    // slice — `resize` from zero every frame would memset the whole
+    // payload before the socket read overwrites it.
+    let mut payload_buf = Vec::new();
+    let mut scratch = IngestScratch::default();
     let mut out = Vec::new();
 
     loop {
@@ -393,9 +407,12 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
                 return;
             }
         };
-        payload.clear();
-        payload.resize(header.payload_len as usize, 0);
-        match read_full(&mut stream, &mut payload, shared) {
+        let payload_len = header.payload_len as usize;
+        if payload_buf.len() < payload_len {
+            payload_buf.resize(payload_len, 0);
+        }
+        let payload = &mut payload_buf[..payload_len];
+        match read_full(&mut stream, payload, shared) {
             ReadOutcome::Full => {}
             ReadOutcome::Eof | ReadOutcome::TruncatedEof => {
                 shared
@@ -406,11 +423,11 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
             }
             ReadOutcome::Shutdown | ReadOutcome::Failed => return,
         }
-        let frame = match header
-            .verify(&payload)
-            .and_then(|()| Frame::decode_body(header.frame_type, &payload))
+        let view = match header
+            .verify(payload)
+            .and_then(|()| FrameView::decode_body(header.frame_type, payload))
         {
-            Ok(frame) => frame,
+            Ok(view) => view,
             Err(e) => {
                 fail_frame(shared, &mut stream, &e);
                 return;
@@ -421,17 +438,13 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
             .frames_decoded
             .fetch_add(1, Ordering::Relaxed);
 
-        let reply = match frame {
-            Frame::Ingest {
-                rejected_upstream,
-                users,
-                slots,
-                values,
-            } => {
-                let batch = ReportBatch::from_columns(users, slots, values);
+        let reply = match view {
+            FrameView::Ingest(ingest) => {
+                let rejected_upstream = ingest.rejected_upstream();
+                let columns = ingest.columns(&mut scratch);
                 let collector = shared.collector();
                 collector.note_upstream_rejections(rejected_upstream);
-                let outcome = collector.ingest_outcome(&batch);
+                let outcome = collector.ingest_outcome(&columns);
                 // Saturating: `rejected_upstream` is client-controlled, so
                 // a hostile u64::MAX must pin the ledger at the ceiling,
                 // not panic (debug) or wrap to garbage (release).
@@ -443,12 +456,12 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
                     .saturating_add(rejected_upstream);
                 None // fire-and-forget
             }
-            Frame::IngestSync => Some(Frame::IngestAck {
+            FrameView::IngestSync => Some(Frame::IngestAck {
                 accepted: ledger.accepted,
                 dropped: ledger.dropped,
                 rejected: ledger.rejected,
             }),
-            Frame::QueryPopulationMean => {
+            FrameView::QueryPopulationMean => {
                 shared
                     .counters
                     .queries_answered
@@ -458,7 +471,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
                     mean: shared.engine.view().population_mean(),
                 })
             }
-            Frame::QueryWindowedMean { start, end } => {
+            FrameView::QueryWindowedMean { start, end } => {
                 shared
                     .counters
                     .queries_answered
@@ -475,7 +488,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
                     }
                 })
             }
-            Frame::QuerySlotMeans { start, end } => {
+            FrameView::QuerySlotMeans { start, end } => {
                 shared
                     .counters
                     .queries_answered
@@ -493,7 +506,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
                     }
                 })
             }
-            Frame::QuerySummary => {
+            FrameView::QuerySummary => {
                 shared
                     .counters
                     .queries_answered
@@ -509,24 +522,24 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
                     population_mean: view.population_mean(),
                 }))
             }
-            Frame::QueryStats => {
+            FrameView::QueryStats => {
                 shared
                     .counters
                     .queries_answered
                     .fetch_add(1, Ordering::Relaxed);
                 Some(Frame::Stats(shared.stats_body()))
             }
-            Frame::Goodbye => return,
+            FrameView::Goodbye => return,
             // Server-to-client frames arriving at the server: the frame
             // parsed, so the stream is still in sync — answer with an
             // error and keep serving.
-            Frame::IngestAck { .. }
-            | Frame::PopulationMean { .. }
-            | Frame::WindowedMean { .. }
-            | Frame::SlotMeans { .. }
-            | Frame::Summary(_)
-            | Frame::Stats(_)
-            | Frame::Error { .. } => Some(Frame::Error {
+            FrameView::IngestAck { .. }
+            | FrameView::PopulationMean { .. }
+            | FrameView::WindowedMean { .. }
+            | FrameView::SlotMeans(_)
+            | FrameView::Summary(_)
+            | FrameView::Stats(_)
+            | FrameView::Error { .. } => Some(Frame::Error {
                 code: code::UNSUPPORTED,
                 message: "frame type is server-to-client".into(),
             }),

@@ -33,9 +33,7 @@ fn main() {
         epsilon,
         w,
         seed: 7,
-        threads: std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4),
+        threads: ldp_collector::default_parallelism(),
     });
 
     println!(

@@ -1,0 +1,189 @@
+//! Allocation-regression pin for the zero-copy ingest fast path.
+//!
+//! The tentpole claim of the wire-path optimization is that the
+//! steady-state per-frame pipeline — encode → header parse/verify →
+//! borrowed decode → shard routing → fold — performs **zero heap
+//! allocations** once its reusable buffers are warm. A throughput number
+//! can regress quietly; an allocation count cannot: this test swaps in a
+//! counting global allocator and asserts the steady state allocates
+//! nothing at all.
+//!
+//! The counter is thread-local, so the other tests in this binary (and
+//! any helper threads) cannot perturb the measurement.
+
+use ldp_collector::{Collector, CollectorConfig, ReportBatch};
+use ldp_server::wire::{Frame, FrameView, Header, IngestScratch, HEADER_LEN};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+/// Counts allocation events (alloc / alloc_zeroed / realloc) on the
+/// current thread, delegating the actual memory management to [`System`].
+struct CountingAllocator;
+
+thread_local! {
+    static ALLOCATION_EVENTS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn bump() {
+    ALLOCATION_EVENTS.with(|c| c.set(c.get() + 1));
+}
+
+fn allocation_events() -> u64 {
+    ALLOCATION_EVENTS.with(Cell::get)
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        bump();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// A deterministic multi-user batch over a fixed user/slot universe, so
+/// repeated frames revisit warm table entries instead of growing state.
+fn steady_batch(reports: usize, users: u64, slots: u64, salt: u64) -> ReportBatch {
+    let mut batch = ReportBatch::with_capacity(reports);
+    let mut state = 0x2545_F491_4F6C_DD1Du64.wrapping_add(salt);
+    for i in 0..reports {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        batch.push(
+            (state >> 33) % users,
+            i as u64 % slots,
+            ((state >> 11) % 4096) as f64 / 4096.0,
+        );
+    }
+    batch
+}
+
+/// One full frame trip: encode into `frame_buf`, then decode borrowed and
+/// fold into `collector` through `scratch` — exactly the per-frame work a
+/// server connection thread performs after its read buffers are filled.
+fn run_frame(
+    batch: &ReportBatch,
+    frame_buf: &mut Vec<u8>,
+    scratch: &mut IngestScratch,
+    collector: &Collector,
+) -> u64 {
+    frame_buf.clear();
+    Frame::encode_ingest_into(batch, frame_buf);
+    let header = Header::parse(frame_buf[..HEADER_LEN].try_into().expect("header")).expect("parse");
+    let payload = &frame_buf[HEADER_LEN..];
+    header.verify(payload).expect("checksum");
+    let view = match FrameView::decode_body(header.frame_type, payload).expect("decode") {
+        FrameView::Ingest(view) => view,
+        other => panic!("expected ingest view, got {other:?}"),
+    };
+    collector.note_upstream_rejections(view.rejected_upstream());
+    let columns = view.columns(scratch);
+    collector.ingest_outcome(&columns).accepted
+}
+
+#[test]
+fn steady_state_ingest_path_performs_zero_allocations() {
+    // Multi-shard so the thread-local routing scratch is exercised too
+    // (a single-shard collector skips it entirely).
+    let collector = Collector::new(CollectorConfig {
+        shards: 4,
+        ..CollectorConfig::default()
+    });
+    let batch = steady_batch(4096, 512, 64, 7);
+    let mut frame_buf = Vec::new();
+    let mut scratch = IngestScratch::default();
+
+    // Warmup: grows the frame buffer, the decode scratch, the routing
+    // scratch, each shard's slot window, and every user-table entry.
+    for _ in 0..8 {
+        assert_eq!(
+            run_frame(&batch, &mut frame_buf, &mut scratch, &collector),
+            batch.len() as u64
+        );
+    }
+
+    let before = allocation_events();
+    let mut accepted = 0u64;
+    for _ in 0..32 {
+        accepted += run_frame(&batch, &mut frame_buf, &mut scratch, &collector);
+    }
+    let after = allocation_events();
+
+    assert_eq!(accepted, 32 * batch.len() as u64, "every report folded");
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state decode → route → fold must not touch the heap"
+    );
+}
+
+#[test]
+fn single_shard_fast_path_is_also_allocation_free() {
+    let collector = Collector::new(CollectorConfig {
+        shards: 1,
+        ..CollectorConfig::default()
+    });
+    let batch = steady_batch(2048, 256, 32, 21);
+    let mut frame_buf = Vec::new();
+    let mut scratch = IngestScratch::default();
+    for _ in 0..8 {
+        run_frame(&batch, &mut frame_buf, &mut scratch, &collector);
+    }
+    let before = allocation_events();
+    for _ in 0..32 {
+        run_frame(&batch, &mut frame_buf, &mut scratch, &collector);
+    }
+    assert_eq!(allocation_events() - before, 0);
+}
+
+#[test]
+fn screening_on_the_routing_pass_allocates_nothing_either() {
+    // Dropped (slot out of bounds) and rejected (non-finite) reports take
+    // the screening branches of the routing pass; those must be as
+    // allocation-free as the accept branch.
+    let collector = Collector::new(CollectorConfig {
+        shards: 2,
+        max_slots: 16,
+        ..CollectorConfig::default()
+    });
+    let mut users = Vec::new();
+    let mut slots = Vec::new();
+    let mut values = Vec::new();
+    for i in 0..1024u64 {
+        users.push(i % 64);
+        slots.push(i % 24); // one in three lands at or above max_slots
+        values.push(if i % 5 == 0 { f64::NAN } else { 0.25 });
+    }
+    let batch = ReportBatch::from_columns(users, slots, values);
+    let mut frame_buf = Vec::new();
+    let mut scratch = IngestScratch::default();
+    for _ in 0..8 {
+        run_frame(&batch, &mut frame_buf, &mut scratch, &collector);
+    }
+    let before = allocation_events();
+    for _ in 0..16 {
+        run_frame(&batch, &mut frame_buf, &mut scratch, &collector);
+    }
+    assert_eq!(allocation_events() - before, 0);
+    assert!(
+        collector.dropped_reports() > 0,
+        "screening branch exercised"
+    );
+    assert!(collector.rejected_reports() > 0);
+}

@@ -1,0 +1,158 @@
+//! Equivalence guarantees of the zero-copy ingest fast path:
+//!
+//! 1. `Collector::ingest(ReportColumns)` ≡ `Collector::ingest(ReportBatch)`
+//!    outcome-for-outcome and state-for-state (bit-identical snapshots —
+//!    both paths fold the same reports in the same order), including on
+//!    hostile columns carrying NaN/∞ values and out-of-bound slots.
+//! 2. The wire path — encode → borrowed `IngestView` decode into scratch
+//!    → ingest — lands the collector in exactly the state a direct owned
+//!    ingest produces.
+//! 3. The borrowed `IngestView` scratch columns agree field-for-field
+//!    with the owned `Frame` decode on well-formed ingest frames of
+//!    every size. (The owned decoder delegates to `FrameView`, but the
+//!    *column materialization* paths are genuinely distinct — scratch
+//!    bulk-widen vs owned `Vec` collect — so this comparison is not
+//!    tautological; hostile/truncated payload agreement is fuzzed in
+//!    `ldp-server`'s own proptests, next to the codec.)
+
+use ldp_collector::{Collector, CollectorConfig, ReportBatch, ReportColumns};
+use ldp_server::wire::{Frame, FrameView, Header, IngestScratch, HEADER_LEN};
+use proptest::prelude::*;
+
+/// Deterministic hostile columns: ~1/7 non-finite values, ~1/5 slots at
+/// or beyond the collector bound, user ids spread across shards.
+fn hostile_columns(n: usize, seed: u64, max_slots: u64) -> (Vec<u64>, Vec<u64>, Vec<f64>) {
+    let mut users = Vec::with_capacity(n);
+    let mut slots = Vec::with_capacity(n);
+    let mut values = Vec::with_capacity(n);
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xDEAD_BEEF;
+    for _ in 0..n {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        users.push(state >> 48);
+        slots.push(match state % 5 {
+            0 => max_slots + (state >> 20) % 1000, // dropped
+            _ => (state >> 8) % max_slots,
+        });
+        values.push(match state % 7 {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            _ => ((state >> 13) % 4096) as f64 / 4096.0 - 0.5,
+        });
+    }
+    (users, slots, values)
+}
+
+fn collector(shards: usize, max_slots: u64) -> Collector {
+    Collector::new(CollectorConfig {
+        shards,
+        max_slots,
+        ..CollectorConfig::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn borrowed_columns_and_owned_batch_ingest_identically(
+        n in 0usize..400,
+        seed in 0u64..10_000,
+        shards in 1usize..6,
+    ) {
+        let max_slots = 64;
+        let (users, slots, values) = hostile_columns(n, seed, max_slots);
+
+        let owned = collector(shards, max_slots);
+        let batch = ReportBatch::from_columns(users.clone(), slots.clone(), values.clone());
+        let outcome_owned = owned.ingest_outcome(&batch);
+
+        let borrowed = collector(shards, max_slots);
+        let columns = ReportColumns::new(&users, &slots, &values);
+        let outcome_borrowed = borrowed.ingest_outcome(&columns);
+
+        prop_assert_eq!(outcome_owned, outcome_borrowed);
+        prop_assert_eq!(
+            outcome_owned.accepted + outcome_owned.dropped + outcome_owned.rejected,
+            n as u64,
+            "every report accounted for"
+        );
+        prop_assert_eq!(owned.total_reports(), borrowed.total_reports());
+        prop_assert_eq!(owned.dropped_reports(), borrowed.dropped_reports());
+        prop_assert_eq!(owned.rejected_reports(), borrowed.rejected_reports());
+
+        // Same reports, same order, same shards: the resulting state is
+        // bit-identical, not merely close.
+        let (snap_owned, snap_borrowed) = (owned.snapshot(), borrowed.snapshot());
+        prop_assert_eq!(snap_owned.user_ids(), snap_borrowed.user_ids());
+        prop_assert_eq!(snap_owned.per_user_means(), snap_borrowed.per_user_means());
+        prop_assert_eq!(snap_owned.slot_count(), snap_borrowed.slot_count());
+        for (a, b) in snap_owned.slots().iter().zip(snap_borrowed.slots()) {
+            prop_assert_eq!(a.count, b.count);
+            prop_assert_eq!(a.sum.to_bits(), b.sum.to_bits());
+            prop_assert_eq!(a.sum_sq.to_bits(), b.sum_sq.to_bits());
+        }
+        prop_assert_eq!(owned.per_user_rows(), borrowed.per_user_rows());
+    }
+
+    #[test]
+    fn wire_decoded_scratch_columns_ingest_like_the_owned_batch(
+        n in 0usize..300,
+        seed in 0u64..10_000,
+    ) {
+        let max_slots = 64;
+        let (users, slots, values) = hostile_columns(n, seed, max_slots);
+
+        // Reference: direct owned ingest, no wire round trip.
+        let reference = collector(4, max_slots);
+        let batch = ReportBatch::from_columns(users.clone(), slots.clone(), values.clone());
+        let reference_outcome = reference.ingest_outcome(&batch);
+
+        // Wire path: encode the batch, decode borrowed, fold the scratch
+        // columns — what a server connection thread does per frame.
+        let via_wire = collector(4, max_slots);
+        let mut bytes = Vec::new();
+        Frame::encode_ingest_into(&batch, &mut bytes);
+        let header = Header::parse(bytes[..HEADER_LEN].try_into().expect("header"))
+            .expect("well-formed header");
+        let payload = &bytes[HEADER_LEN..];
+        header.verify(payload).expect("checksum survives the trip");
+        let view = match FrameView::decode_body(header.frame_type, payload).expect("decode") {
+            FrameView::Ingest(view) => view,
+            other => panic!("expected ingest view, got {other:?}"),
+        };
+        let mut scratch = IngestScratch::default();
+        let wire_outcome = via_wire.ingest_outcome(&view.columns(&mut scratch));
+
+        prop_assert_eq!(reference_outcome, wire_outcome);
+        prop_assert_eq!(
+            reference.snapshot().per_user_means(),
+            via_wire.snapshot().per_user_means()
+        );
+
+        // And the borrowed view agrees field-for-field with the owned
+        // decoder on the same payload.
+        match Frame::decode_body(header.frame_type, payload).expect("owned decode") {
+            Frame::Ingest { users: u, slots: s, values: v, rejected_upstream } => {
+                prop_assert_eq!(rejected_upstream, view.rejected_upstream());
+                let columns = view.columns(&mut scratch);
+                prop_assert_eq!(columns.users(), &u[..]);
+                prop_assert_eq!(columns.slots(), &s[..]);
+                let bits: Vec<u64> = columns.values().iter().map(|x| x.to_bits()).collect();
+                let owned_bits: Vec<u64> = v.iter().map(|x| x.to_bits()).collect();
+                prop_assert_eq!(bits, owned_bits, "NaN payloads survive bit-exactly");
+            }
+            other => panic!("expected ingest frame, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn empty_columns_are_a_no_op_on_both_paths() {
+    let c = collector(3, 64);
+    assert_eq!(c.ingest(&ReportColumns::new(&[], &[], &[])), 0);
+    assert_eq!(c.ingest(&ReportBatch::new()), 0);
+    assert_eq!(c.total_reports(), 0);
+    assert!((0..3).all(|s| c.shard_epoch(s) == 0), "no epoch advanced");
+}
