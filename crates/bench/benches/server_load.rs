@@ -153,6 +153,30 @@ fn main() {
         rate / 1e6
     );
 
+    // Latency distributions from the wire-served telemetry snapshot —
+    // the floor below guards throughput; these show *where* the time
+    // goes when it moves.
+    let mut client = RemoteCollector::connect(addr).expect("metrics connect");
+    let metrics = client.metrics().expect("metrics query");
+    let fmt_h = |name: &str| match metrics.histogram(name) {
+        Some(h) if h.count() > 0 => format!(
+            "p50≤{}µs p99≤{}µs max={}µs (n={})",
+            h.p50().unwrap_or(0) / 1_000,
+            h.p99().unwrap_or(0) / 1_000,
+            h.max() / 1_000,
+            h.count()
+        ),
+        _ => "(empty)".into(),
+    };
+    println!(
+        "             fold latency:   {}",
+        fmt_h("collector.ingest.fold_nanos")
+    );
+    println!(
+        "             decode latency: {}",
+        fmt_h("server.frame.decode_nanos")
+    );
+
     // Throughput floor: only meaningful at full scale (short smoke runs
     // are dominated by connection setup and thread scheduling).
     let min_rate = std::env::var("LDP_BENCH_MIN_RATE")

@@ -3,9 +3,10 @@
 use crate::accumulator::{ShardAccumulator, SlotRetention};
 use crate::report::AsReportColumns;
 use crate::snapshot::CollectorSnapshot;
+use ldp_telemetry::{Counter, Histogram, Registry};
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 /// Default bound on the dense slot range (see [`CollectorConfig::max_slots`]).
 pub const DEFAULT_MAX_SLOTS: u64 = 1 << 20;
@@ -110,6 +111,48 @@ pub struct IngestOutcome {
     pub rejected: u64,
 }
 
+/// The collector's registered telemetry handles (see the crate-level
+/// metric catalog in the README). Disposition tallies live here — the
+/// telemetry counters ARE the collector's books, not a copy of them, so
+/// the `Stats` wire frame and the `MetricsSnapshot` frame can never
+/// disagree.
+#[derive(Debug)]
+struct CollectorMetrics {
+    /// `collector.reports.accepted` — reports folded into shards.
+    accepted: Arc<Counter>,
+    /// `collector.reports.dropped` — slot index at/above `max_slots`.
+    dropped: Arc<Counter>,
+    /// `collector.reports.rejected` — non-finite values, wherever caught.
+    rejected: Arc<Counter>,
+    /// `collector.reports.rejected_upstream` — the subset of `rejected`
+    /// screened client-side and forwarded via
+    /// [`Collector::note_upstream_rejections`].
+    rejected_upstream: Arc<Counter>,
+    /// `collector.ingest.batches` — non-empty batches ingested.
+    batches: Arc<Counter>,
+    /// `collector.ingest.fold_nanos` — per-batch route+fold latency.
+    fold_nanos: Arc<Histogram>,
+    /// `collector.shard.<k>.batches` — batches that folded reports into
+    /// shard `k`: the shard-imbalance signal.
+    shard_batches: Vec<Arc<Counter>>,
+}
+
+impl CollectorMetrics {
+    fn register(registry: &Registry, shards: usize) -> Self {
+        Self {
+            accepted: registry.counter("collector.reports.accepted"),
+            dropped: registry.counter("collector.reports.dropped"),
+            rejected: registry.counter("collector.reports.rejected"),
+            rejected_upstream: registry.counter("collector.reports.rejected_upstream"),
+            batches: registry.counter("collector.ingest.batches"),
+            fold_nanos: registry.histogram("collector.ingest.fold_nanos"),
+            shard_batches: (0..shards)
+                .map(|k| registry.counter(&format!("collector.shard.{k:02}.batches")))
+                .collect(),
+        }
+    }
+}
+
 /// A sharded, incremental aggregation engine for perturbed slot reports.
 ///
 /// Thread-safe: `ingest` takes `&self`, so any number of client threads
@@ -119,9 +162,8 @@ pub struct IngestOutcome {
 pub struct Collector {
     shards: Vec<Shard>,
     max_slots: u64,
-    accepted: AtomicU64,
-    dropped: AtomicU64,
-    rejected: AtomicU64,
+    telemetry: Arc<Registry>,
+    metrics: CollectorMetrics,
 }
 
 impl Default for Collector {
@@ -138,6 +180,8 @@ impl Collector {
     #[must_use]
     pub fn new(config: CollectorConfig) -> Self {
         assert!(config.shards > 0, "collector needs at least one shard");
+        let telemetry = Arc::new(Registry::new());
+        let metrics = CollectorMetrics::register(&telemetry, config.shards);
         Self {
             shards: (0..config.shards)
                 .map(|_| Shard {
@@ -146,10 +190,18 @@ impl Collector {
                 })
                 .collect(),
             max_slots: config.max_slots,
-            accepted: AtomicU64::new(0),
-            dropped: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
+            telemetry,
+            metrics,
         }
+    }
+
+    /// The telemetry registry this collector's metrics live in. The
+    /// server and query engine register their own metrics here too, so
+    /// one registry (and one wire-served snapshot) covers the whole
+    /// pipeline.
+    #[must_use]
+    pub fn telemetry(&self) -> &Arc<Registry> {
+        &self.telemetry
     }
 
     /// Number of shards.
@@ -196,6 +248,9 @@ impl Collector {
         if users.is_empty() {
             return IngestOutcome::default();
         }
+        // One timer per batch (not per report): the clock reads amortize
+        // to nothing at normal batch sizes, and a no-op when disabled.
+        let fold_timer = self.metrics.fold_nanos.timer();
         let mut tally = IngestOutcome::default();
         let first_shard = self.shard_of(users[0]);
         let uniform =
@@ -216,6 +271,7 @@ impl Collector {
             drop(acc);
             if tally.accepted > 0 {
                 shard.epoch.fetch_add(1, Ordering::Release);
+                self.metrics.shard_batches[first_shard].inc();
             }
         } else {
             SHARD_SCRATCH.with(|scratch| {
@@ -223,15 +279,11 @@ impl Collector {
                 self.ingest_runs(&mut scratch, users, slots, values, &mut tally);
             });
         }
-        if tally.accepted > 0 {
-            self.accepted.fetch_add(tally.accepted, Ordering::Relaxed);
-        }
-        if tally.dropped > 0 {
-            self.dropped.fetch_add(tally.dropped, Ordering::Relaxed);
-        }
-        if tally.rejected > 0 {
-            self.rejected.fetch_add(tally.rejected, Ordering::Relaxed);
-        }
+        drop(fold_timer); // record route+fold, not the tallying below
+        self.metrics.batches.inc();
+        self.metrics.accepted.add(tally.accepted);
+        self.metrics.dropped.add(tally.dropped);
+        self.metrics.rejected.add(tally.rejected);
         tally
     }
 
@@ -305,6 +357,7 @@ impl Collector {
             }
             drop(acc);
             shard.epoch.fetch_add(1, Ordering::Release);
+            self.metrics.shard_batches[shard_idx].inc();
             tally.accepted += run.len() as u64;
         }
     }
@@ -316,7 +369,7 @@ impl Collector {
     /// partially).
     #[must_use]
     pub fn total_reports(&self) -> u64 {
-        self.accepted.load(Ordering::Relaxed)
+        self.metrics.accepted.get()
     }
 
     /// The mutation epoch of shard `shard`: advances once per batch that
@@ -342,7 +395,7 @@ impl Collector {
     /// `max_slots` bound.
     #[must_use]
     pub fn dropped_reports(&self) -> u64 {
-        self.dropped.load(Ordering::Relaxed)
+        self.metrics.dropped.get()
     }
 
     /// Reports rejected for carrying a non-finite value (one NaN folded
@@ -351,7 +404,22 @@ impl Collector {
     /// fleet forwards those counts here).
     #[must_use]
     pub fn rejected_reports(&self) -> u64 {
-        self.rejected.load(Ordering::Relaxed)
+        self.metrics.rejected.get()
+    }
+
+    /// The subset of [`Self::rejected_reports`] that was screened
+    /// *upstream* of this collector (client-side batch building or a
+    /// remote client's forwarded count) rather than at ingest.
+    #[must_use]
+    pub fn upstream_rejected_reports(&self) -> u64 {
+        self.metrics.rejected_upstream.get()
+    }
+
+    /// Non-empty batches ingested so far (each counted once, whatever
+    /// mix of accept/drop/reject it carried).
+    #[must_use]
+    pub fn ingested_batches(&self) -> u64 {
+        self.metrics.batches.get()
     }
 
     /// Folds in rejections that happened upstream of ingest (e.g.
@@ -360,9 +428,8 @@ impl Collector {
     /// [`Self::rejected_reports`] accounts for every poison value seen
     /// anywhere on the upload path.
     pub fn note_upstream_rejections(&self, n: u64) {
-        if n > 0 {
-            self.rejected.fetch_add(n, Ordering::Relaxed);
-        }
+        self.metrics.rejected.add(n);
+        self.metrics.rejected_upstream.add(n);
     }
 
     /// `(user id, report count, value sum)` rows for every user, sorted

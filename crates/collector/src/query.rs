@@ -38,6 +38,7 @@
 use crate::accumulator::{ShardAccumulator, SlotStats};
 use crate::engine::Collector;
 use crate::snapshot::SlotTable;
+use ldp_telemetry::Histogram;
 use std::ops::{Deref, Range};
 use std::sync::{Arc, Mutex, RwLock};
 
@@ -207,6 +208,12 @@ pub struct QueryEngine<C: Deref<Target = Collector>> {
     /// Serializes refreshers so concurrent refreshes cannot interleave
     /// their subtract/add passes or publish out of order.
     refresh: Mutex<()>,
+    /// `query.refresh_nanos` — latency of refreshes that re-published
+    /// the view (no-op revalidations are not recorded).
+    refresh_nanos: Arc<Histogram>,
+    /// `query.refresh.shards_merged` — how many shards each publishing
+    /// refresh delta-merged: the change-set size the engine is paying for.
+    refresh_shards: Arc<Histogram>,
 }
 
 impl<C: Deref<Target = Collector>> QueryEngine<C> {
@@ -220,10 +227,15 @@ impl<C: Deref<Target = Collector>> QueryEngine<C> {
                 .collect(),
             ..LiveView::default()
         };
+        let registry = collector.telemetry();
+        let refresh_nanos = registry.histogram("query.refresh_nanos");
+        let refresh_shards = registry.histogram("query.refresh.shards_merged");
         let engine = Self {
             collector,
             view: RwLock::new(Arc::new(empty)),
             refresh: Mutex::new(()),
+            refresh_nanos,
+            refresh_shards,
         };
         engine.refresh();
         engine
@@ -254,6 +266,7 @@ impl<C: Deref<Target = Collector>> QueryEngine<C> {
     /// revalidated with one atomic load each.
     pub fn refresh(&self) -> usize {
         let _serialize = self.refresh.lock().expect("refresh lock poisoned");
+        let timer = self.refresh_nanos.timer();
         let cur = self.view();
 
         // Extract the shards whose epoch moved. The epoch is re-read under
@@ -271,9 +284,13 @@ impl<C: Deref<Target = Collector>> QueryEngine<C> {
             }
         }
         if changed.is_empty() {
+            // A no-op revalidation — recording it would drown the
+            // latency distribution of real refreshes in atomic loads.
+            timer.cancel();
             return 0;
         }
         let refreshed = changed.len();
+        self.refresh_shards.record(refreshed as u64);
 
         // Delta pass 1: subtract the changed shards' old contributions
         // from a copy of the merged table and swap in the new aggregates.

@@ -14,6 +14,7 @@ use crate::wire::{
 };
 use ldp_collector::{ClientFleet, FleetError, IngestOutcome, ReportBatch, ReportSink};
 use ldp_streams::Population;
+use ldp_telemetry::TelemetrySnapshot;
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::ops::Range;
@@ -151,6 +152,19 @@ impl RemoteCollector {
     pub fn server_stats(&mut self) -> std::io::Result<StatsBody> {
         match self.request(&Frame::QueryStats)? {
             Frame::Stats(s) => Ok(s),
+            other => Err(unexpected_reply(&other)),
+        }
+    }
+
+    /// A full telemetry snapshot of the server — every registered
+    /// counter, gauge, and histogram (with full bucket arrays, so p50/
+    /// p90/p99 latency estimates are derivable client-side).
+    ///
+    /// # Errors
+    /// Transport errors, or a server-reported error frame.
+    pub fn metrics(&mut self) -> std::io::Result<TelemetrySnapshot> {
+        match self.request(&Frame::QueryMetrics)? {
+            Frame::Metrics(snapshot) => Ok(snapshot),
             other => Err(unexpected_reply(&other)),
         }
     }

@@ -64,6 +64,6 @@ pub mod wire;
 pub use client::{drive_fleet_loopback, drive_fleet_remote, RemoteCollector};
 pub use serve::{Server, ServerConfig};
 pub use wire::{
-    checksum, Frame, FrameView, Header, IngestScratch, IngestView, SlotMeansView, StatsBody,
-    SummaryBody, WireError, WIRE_VERSION,
+    checksum, frame_type_name, Frame, FrameView, Header, IngestScratch, IngestView, MetricsView,
+    SlotMeansView, StatsBody, SummaryBody, WireError, METRICS_SNAPSHOT_VERSION, WIRE_VERSION,
 };

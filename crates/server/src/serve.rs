@@ -31,12 +31,14 @@
 //!   interval, finish their in-flight frame, and join.
 
 use crate::wire::{
-    code, Frame, FrameView, Header, IngestScratch, StatsBody, SummaryBody, WireError, HEADER_LEN,
+    code, frame_type_name, Frame, FrameView, Header, IngestScratch, StatsBody, SummaryBody,
+    WireError, HEADER_LEN, KNOWN_FRAME_TYPES,
 };
 use ldp_collector::{Collector, QueryEngine};
+use ldp_telemetry::{Counter, Gauge, Histogram, Registry, TelemetrySnapshot};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -72,21 +74,95 @@ impl Default for ServerConfig {
     }
 }
 
-/// Server-side operational counters (lock-free; read by the stats query).
-#[derive(Debug, Default)]
-struct Counters {
-    active_connections: AtomicU64,
-    total_connections: AtomicU64,
-    rejected_connections: AtomicU64,
-    frames_decoded: AtomicU64,
-    frames_failed: AtomicU64,
-    queries_answered: AtomicU64,
+/// Server-side operational metrics, registered in the collector's
+/// [`Registry`] — these handles **are** the server's books (not copies),
+/// so the stats frame and the metrics-snapshot frame can never disagree.
+/// Every update is a relaxed atomic RMW, lock-free and allocation-free.
+#[derive(Debug)]
+struct ServerMetrics {
+    /// `server.connections.active`.
+    connections_active: Arc<Gauge>,
+    /// `server.connections.total`.
+    connections_total: Arc<Counter>,
+    /// `server.connections.rejected` (turned away at the limit).
+    connections_rejected: Arc<Counter>,
+    /// `server.frames.decoded`.
+    frames_decoded: Arc<Counter>,
+    /// `server.frames.failed`.
+    frames_failed: Arc<Counter>,
+    /// `server.frames.by_type.<name>`, indexed by `frame_type - 1`.
+    frames_by_type: Vec<Arc<Counter>>,
+    /// `server.queries.answered`.
+    queries_answered: Arc<Counter>,
+    /// `server.ingest.frames`.
+    ingest_frames: Arc<Counter>,
+    /// `server.bytes.in` (header + payload bytes read from clients).
+    bytes_in: Arc<Counter>,
+    /// `server.bytes.out` (header + payload bytes written to clients).
+    bytes_out: Arc<Counter>,
+    /// `server.frame.decode_nanos` — checksum verify + borrowed decode,
+    /// per frame.
+    decode_nanos: Arc<Histogram>,
+    /// `server.query.<verb>_nanos` — time to answer each query verb
+    /// (including the view refresh), socket write excluded.
+    query_population_mean_nanos: Arc<Histogram>,
+    /// See [`Self::query_population_mean_nanos`].
+    query_windowed_mean_nanos: Arc<Histogram>,
+    /// See [`Self::query_population_mean_nanos`].
+    query_slot_means_nanos: Arc<Histogram>,
+    /// See [`Self::query_population_mean_nanos`].
+    query_summary_nanos: Arc<Histogram>,
+    /// See [`Self::query_population_mean_nanos`].
+    query_stats_nanos: Arc<Histogram>,
+    /// See [`Self::query_population_mean_nanos`].
+    query_metrics_nanos: Arc<Histogram>,
+}
+
+impl ServerMetrics {
+    fn register(registry: &Registry) -> Self {
+        let frames_by_type = KNOWN_FRAME_TYPES
+            .map(|ft| {
+                let name = frame_type_name(ft).expect("known frame types are named");
+                registry.counter(&format!("server.frames.by_type.{name}"))
+            })
+            .collect();
+        Self {
+            connections_active: registry.gauge("server.connections.active"),
+            connections_total: registry.counter("server.connections.total"),
+            connections_rejected: registry.counter("server.connections.rejected"),
+            frames_decoded: registry.counter("server.frames.decoded"),
+            frames_failed: registry.counter("server.frames.failed"),
+            frames_by_type,
+            queries_answered: registry.counter("server.queries.answered"),
+            ingest_frames: registry.counter("server.ingest.frames"),
+            bytes_in: registry.counter("server.bytes.in"),
+            bytes_out: registry.counter("server.bytes.out"),
+            decode_nanos: registry.histogram("server.frame.decode_nanos"),
+            query_population_mean_nanos: registry.histogram("server.query.population_mean_nanos"),
+            query_windowed_mean_nanos: registry.histogram("server.query.windowed_mean_nanos"),
+            query_slot_means_nanos: registry.histogram("server.query.slot_means_nanos"),
+            query_summary_nanos: registry.histogram("server.query.summary_nanos"),
+            query_stats_nanos: registry.histogram("server.query.stats_nanos"),
+            query_metrics_nanos: registry.histogram("server.query.metrics_nanos"),
+        }
+    }
+
+    /// Counts one successfully decoded frame of type `frame_type`.
+    fn count_frame(&self, frame_type: u8) {
+        self.frames_decoded.inc();
+        if let Some(by_type) = self
+            .frames_by_type
+            .get((frame_type as usize).wrapping_sub(1))
+        {
+            by_type.inc();
+        }
+    }
 }
 
 /// State shared by the accept loop, refresher, and connection threads.
 struct Shared {
     engine: QueryEngine<Arc<Collector>>,
-    counters: Counters,
+    metrics: ServerMetrics,
     shutdown: AtomicBool,
     config: ServerConfig,
 }
@@ -98,16 +174,21 @@ impl Shared {
 
     fn stats_body(&self) -> StatsBody {
         let c = self.collector();
+        let m = &self.metrics;
         StatsBody {
             accepted_reports: c.total_reports(),
             dropped_reports: c.dropped_reports(),
             rejected_reports: c.rejected_reports(),
-            active_connections: self.counters.active_connections.load(Ordering::Relaxed),
-            total_connections: self.counters.total_connections.load(Ordering::Relaxed),
-            rejected_connections: self.counters.rejected_connections.load(Ordering::Relaxed),
-            frames_decoded: self.counters.frames_decoded.load(Ordering::Relaxed),
-            frames_failed: self.counters.frames_failed.load(Ordering::Relaxed),
-            queries_answered: self.counters.queries_answered.load(Ordering::Relaxed),
+            active_connections: m.connections_active.get().max(0) as u64,
+            total_connections: m.connections_total.get(),
+            rejected_connections: m.connections_rejected.get(),
+            frames_decoded: m.frames_decoded.get(),
+            frames_failed: m.frames_failed.get(),
+            queries_answered: m.queries_answered.get(),
+            upstream_rejected_reports: c.upstream_rejected_reports(),
+            ingest_frames: m.ingest_frames.get(),
+            bytes_in: m.bytes_in.get(),
+            bytes_out: m.bytes_out.get(),
         }
     }
 }
@@ -154,9 +235,10 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+        let metrics = ServerMetrics::register(collector.telemetry());
         let shared = Arc::new(Shared {
             engine: QueryEngine::new(Arc::clone(&collector)),
-            counters: Counters::default(),
+            metrics,
             shutdown: AtomicBool::new(false),
             config,
         });
@@ -206,6 +288,14 @@ impl Server {
         self.shared.stats_body()
     }
 
+    /// A point-in-time snapshot of every registered metric — collector,
+    /// query engine, and server — exactly what the metrics query frame
+    /// serves over the wire.
+    #[must_use]
+    pub fn metrics(&self) -> TelemetrySnapshot {
+        self.collector.telemetry().snapshot()
+    }
+
     /// Graceful shutdown: stops accepting, lets every connection thread
     /// finish its in-flight frame, and joins all service threads. Called
     /// automatically on drop; idempotent.
@@ -235,42 +325,27 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 handles.retain(|h| !h.is_finished());
-                let active = shared.counters.active_connections.load(Ordering::Relaxed);
-                if active >= shared.config.max_connections as u64 {
-                    shared
-                        .counters
-                        .rejected_connections
-                        .fetch_add(1, Ordering::Relaxed);
-                    refuse_busy(stream);
+                let active = shared.metrics.connections_active.get();
+                if active >= shared.config.max_connections as i64 {
+                    shared.metrics.connections_rejected.inc();
+                    refuse_busy(shared, stream);
                     continue;
                 }
-                shared
-                    .counters
-                    .total_connections
-                    .fetch_add(1, Ordering::Relaxed);
-                shared
-                    .counters
-                    .active_connections
-                    .fetch_add(1, Ordering::Relaxed);
+                shared.metrics.connections_total.inc();
+                shared.metrics.connections_active.inc();
                 let conn_shared = Arc::clone(shared);
                 let handle = std::thread::Builder::new()
                     .name("ldp-server-conn".into())
                     .spawn(move || {
                         handle_connection(&conn_shared, stream);
-                        conn_shared
-                            .counters
-                            .active_connections
-                            .fetch_sub(1, Ordering::Relaxed);
+                        conn_shared.metrics.connections_active.dec();
                     });
                 match handle {
                     Ok(h) => handles.push(h),
                     Err(_) => {
                         // Spawn failed (resource exhaustion): undo the
                         // active count; the stream drops closed.
-                        shared
-                            .counters
-                            .active_connections
-                            .fetch_sub(1, Ordering::Relaxed);
+                        shared.metrics.connections_active.dec();
                     }
                 }
             }
@@ -286,7 +361,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
 }
 
 /// Best-effort busy refusal for a connection over the limit.
-fn refuse_busy(mut stream: TcpStream) {
+fn refuse_busy(shared: &Shared, mut stream: TcpStream) {
     // On some platforms the accepted socket inherits the listener's
     // nonblocking flag; the refusal write must not spuriously fail.
     let _ = stream.set_nonblocking(false);
@@ -294,7 +369,10 @@ fn refuse_busy(mut stream: TcpStream) {
         code: code::BUSY,
         message: "server at connection limit".into(),
     };
-    let _ = stream.write_all(&frame.encode());
+    let bytes = frame.encode();
+    if stream.write_all(&bytes).is_ok() {
+        shared.metrics.bytes_out.add(bytes.len() as u64);
+    }
 }
 
 /// Outcome of an interruptible exact read.
@@ -381,10 +459,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
             ReadOutcome::Full => {}
             ReadOutcome::Eof => return, // clean close at a frame boundary
             ReadOutcome::TruncatedEof => {
-                shared
-                    .counters
-                    .frames_failed
-                    .fetch_add(1, Ordering::Relaxed);
+                shared.metrics.frames_failed.inc();
                 return;
             }
             ReadOutcome::Shutdown | ReadOutcome::Failed => return,
@@ -415,31 +490,33 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
         match read_full(&mut stream, payload, shared) {
             ReadOutcome::Full => {}
             ReadOutcome::Eof | ReadOutcome::TruncatedEof => {
-                shared
-                    .counters
-                    .frames_failed
-                    .fetch_add(1, Ordering::Relaxed);
+                shared.metrics.frames_failed.inc();
                 return;
             }
             ReadOutcome::Shutdown | ReadOutcome::Failed => return,
         }
+        shared
+            .metrics
+            .bytes_in
+            .add((HEADER_LEN + payload_len) as u64);
+        let decode_timer = shared.metrics.decode_nanos.timer();
         let view = match header
             .verify(payload)
             .and_then(|()| FrameView::decode_body(header.frame_type, payload))
         {
             Ok(view) => view,
             Err(e) => {
+                decode_timer.cancel();
                 fail_frame(shared, &mut stream, &e);
                 return;
             }
         };
-        shared
-            .counters
-            .frames_decoded
-            .fetch_add(1, Ordering::Relaxed);
+        drop(decode_timer);
+        shared.metrics.count_frame(header.frame_type);
 
         let reply = match view {
             FrameView::Ingest(ingest) => {
+                shared.metrics.ingest_frames.inc();
                 let rejected_upstream = ingest.rejected_upstream();
                 let columns = ingest.columns(&mut scratch);
                 let collector = shared.collector();
@@ -462,20 +539,16 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
                 rejected: ledger.rejected,
             }),
             FrameView::QueryPopulationMean => {
-                shared
-                    .counters
-                    .queries_answered
-                    .fetch_add(1, Ordering::Relaxed);
+                let _t = shared.metrics.query_population_mean_nanos.timer();
+                shared.metrics.queries_answered.inc();
                 shared.engine.refresh();
                 Some(Frame::PopulationMean {
                     mean: shared.engine.view().population_mean(),
                 })
             }
             FrameView::QueryWindowedMean { start, end } => {
-                shared
-                    .counters
-                    .queries_answered
-                    .fetch_add(1, Ordering::Relaxed);
+                let _t = shared.metrics.query_windowed_mean_nanos.timer();
+                shared.metrics.queries_answered.inc();
                 Some(if start >= end {
                     bad_query("windowed mean over an empty or inverted range")
                 } else {
@@ -489,10 +562,8 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
                 })
             }
             FrameView::QuerySlotMeans { start, end } => {
-                shared
-                    .counters
-                    .queries_answered
-                    .fetch_add(1, Ordering::Relaxed);
+                let _t = shared.metrics.query_slot_means_nanos.timer();
+                shared.metrics.queries_answered.inc();
                 Some(if start >= end {
                     bad_query("slot means over an empty or inverted range")
                 } else if end - start > shared.config.max_query_slots {
@@ -507,10 +578,8 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
                 })
             }
             FrameView::QuerySummary => {
-                shared
-                    .counters
-                    .queries_answered
-                    .fetch_add(1, Ordering::Relaxed);
+                let _t = shared.metrics.query_summary_nanos.timer();
+                shared.metrics.queries_answered.inc();
                 shared.engine.refresh();
                 let view = shared.engine.view();
                 Some(Frame::Summary(SummaryBody {
@@ -523,11 +592,14 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
                 }))
             }
             FrameView::QueryStats => {
-                shared
-                    .counters
-                    .queries_answered
-                    .fetch_add(1, Ordering::Relaxed);
+                let _t = shared.metrics.query_stats_nanos.timer();
+                shared.metrics.queries_answered.inc();
                 Some(Frame::Stats(shared.stats_body()))
+            }
+            FrameView::QueryMetrics => {
+                let _t = shared.metrics.query_metrics_nanos.timer();
+                shared.metrics.queries_answered.inc();
+                Some(Frame::Metrics(shared.collector().telemetry().snapshot()))
             }
             FrameView::Goodbye => return,
             // Server-to-client frames arriving at the server: the frame
@@ -539,6 +611,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
             | FrameView::SlotMeans(_)
             | FrameView::Summary(_)
             | FrameView::Stats(_)
+            | FrameView::Metrics(_)
             | FrameView::Error { .. } => Some(Frame::Error {
                 code: code::UNSUPPORTED,
                 message: "frame type is server-to-client".into(),
@@ -551,6 +624,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
             if stream.write_all(&out).is_err() {
                 return;
             }
+            shared.metrics.bytes_out.add(out.len() as u64);
         }
     }
 }
@@ -567,13 +641,13 @@ fn bad_query(message: &str) -> Frame {
 /// caller closes the connection (the stream position is untrustworthy
 /// after a framing error).
 fn fail_frame(shared: &Shared, stream: &mut TcpStream, error: &WireError) {
-    shared
-        .counters
-        .frames_failed
-        .fetch_add(1, Ordering::Relaxed);
+    shared.metrics.frames_failed.inc();
     let frame = Frame::Error {
         code: code::MALFORMED,
         message: error.to_string(),
     };
-    let _ = stream.write_all(&frame.encode());
+    let bytes = frame.encode();
+    if stream.write_all(&bytes).is_ok() {
+        shared.metrics.bytes_out.add(bytes.len() as u64);
+    }
 }

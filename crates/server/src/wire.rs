@@ -6,7 +6,7 @@
 //! offset  size  field
 //! ------  ----  -----------------------------------------------
 //!      0     4  magic  "LDPW"
-//!      4     1  protocol version (currently 1)
+//!      4     1  protocol version (currently 2)
 //!      5     1  frame type (see [`Frame`] discriminants)
 //!      6     2  reserved, must be zero
 //!      8     4  payload length, little-endian u32
@@ -45,11 +45,24 @@
 //! framed I/O on sockets lives in [`crate::serve`] and [`crate::client`].
 
 use ldp_collector::{ReportBatch, ReportColumns};
+use ldp_telemetry::{
+    HistogramSnapshot, MetricEntry, MetricValue, TelemetrySnapshot, HISTOGRAM_BUCKETS,
+};
 
 /// Frame magic: the first four bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"LDPW";
 /// Current protocol version.
-pub const WIRE_VERSION: u8 = 1;
+///
+/// History: v1 was the original protocol; v2 appended collector and
+/// transport tallies to [`StatsBody`] (the existing fields keep their
+/// offsets, but the payload layout of an existing frame changed, which
+/// per the versioning rule bumps the version) and added the
+/// [`Frame::QueryMetrics`] / [`Frame::Metrics`] telemetry frames.
+pub const WIRE_VERSION: u8 = 2;
+/// Version byte of the metrics-snapshot payload carried by
+/// [`Frame::Metrics`] — versioned independently of the envelope so the
+/// snapshot layout can evolve without a protocol-wide bump.
+pub const METRICS_SNAPSHOT_VERSION: u8 = 1;
 /// Fixed header size in bytes.
 pub const HEADER_LEN: usize = 16;
 /// Default upper bound on payload size a peer will read (16 MiB — one
@@ -261,6 +274,16 @@ pub struct StatsBody {
     pub frames_failed: u64,
     /// Query frames answered.
     pub queries_answered: u64,
+    // --- appended in wire version 2 (older fields keep their offsets) ---
+    /// Reports the *clients* rejected before upload (non-finite values),
+    /// folded into `rejected_reports` and also broken out here.
+    pub upstream_rejected_reports: u64,
+    /// Ingest frames folded, across all connections.
+    pub ingest_frames: u64,
+    /// Payload + header bytes read from clients.
+    pub bytes_in: u64,
+    /// Payload + header bytes written to clients.
+    pub bytes_out: u64,
 }
 
 /// One protocol message. Client→server frames are `Ingest`, `IngestSync`,
@@ -337,6 +360,12 @@ pub enum Frame {
     QueryStats,
     /// Reply to [`Frame::QueryStats`].
     Stats(StatsBody),
+    /// Telemetry query: asks for a full metrics snapshot.
+    QueryMetrics,
+    /// Reply to [`Frame::QueryMetrics`]: every registered metric —
+    /// counters, gauges, and full histogram bucket arrays — as a
+    /// versioned [`TelemetrySnapshot`] (see [`METRICS_SNAPSHOT_VERSION`]).
+    Metrics(TelemetrySnapshot),
     /// Server-reported failure (see [`code`]). After a framing-level
     /// error the server closes the connection — the stream position is no
     /// longer trustworthy; query-level errors keep the connection open.
@@ -366,6 +395,38 @@ const FT_QUERY_STATS: u8 = 12;
 const FT_STATS: u8 = 13;
 const FT_ERROR: u8 = 14;
 const FT_GOODBYE: u8 = 15;
+const FT_QUERY_METRICS: u8 = 16;
+const FT_METRICS: u8 = 17;
+
+/// The contiguous range of assigned frame-type discriminants (used by the
+/// server to size its per-frame-type telemetry counters).
+pub(crate) const KNOWN_FRAME_TYPES: std::ops::RangeInclusive<u8> = FT_INGEST..=FT_METRICS;
+
+/// Stable lowercase name of a frame type (for metric names and
+/// dashboards), or `None` for an unassigned discriminant.
+#[must_use]
+pub fn frame_type_name(frame_type: u8) -> Option<&'static str> {
+    Some(match frame_type {
+        FT_INGEST => "ingest",
+        FT_INGEST_SYNC => "ingest_sync",
+        FT_INGEST_ACK => "ingest_ack",
+        FT_QUERY_POPULATION_MEAN => "query_population_mean",
+        FT_POPULATION_MEAN => "population_mean",
+        FT_QUERY_WINDOWED_MEAN => "query_windowed_mean",
+        FT_WINDOWED_MEAN => "windowed_mean",
+        FT_QUERY_SLOT_MEANS => "query_slot_means",
+        FT_SLOT_MEANS => "slot_means",
+        FT_QUERY_SUMMARY => "query_summary",
+        FT_SUMMARY => "summary",
+        FT_QUERY_STATS => "query_stats",
+        FT_STATS => "stats",
+        FT_ERROR => "error",
+        FT_GOODBYE => "goodbye",
+        FT_QUERY_METRICS => "query_metrics",
+        FT_METRICS => "metrics",
+        _ => return None,
+    })
+}
 
 /// Little-endian payload reader with explicit truncation errors.
 struct Reader<'a> {
@@ -392,6 +453,10 @@ impl<'a> Reader<'a> {
 
     fn u64(&mut self) -> WireResult<u64> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn i64(&mut self) -> WireResult<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8")))
     }
 
     fn f64(&mut self) -> WireResult<f64> {
@@ -585,6 +650,141 @@ impl<'a> SlotMeansView<'a> {
     }
 }
 
+/// Borrowed decode of a metrics-snapshot payload ([`Frame::Metrics`]):
+/// the entry records still in wire form, fully validated at parse time
+/// (snapshot version, entry structure, UTF-8 names in strictly ascending
+/// order, histogram bucket counts ≤ [`HISTOGRAM_BUCKETS`]) so iteration
+/// is infallible.
+///
+/// This is a cold-path frame (a dashboard poll, not ingest), so
+/// [`Self::entries`] materializes each histogram's bucket `Vec` as it
+/// goes — the borrowed form exists to keep [`FrameView`] `Copy` and to
+/// defer *name* allocation until [`Self::to_snapshot`].
+///
+/// Wire layout after the envelope:
+///
+/// ```text
+/// u8   snapshot version (must be METRICS_SNAPSHOT_VERSION)
+/// u32  entry count
+/// then per entry, in strictly ascending name order:
+///   u16  name length     name bytes (UTF-8)
+///   u8   kind            0 counter | 1 gauge | 2 histogram
+///   counter:   u64 value
+///   gauge:     i64 value
+///   histogram: u64 sum, u64 max, u8 bucket count (≤ 64), count × u64
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct MetricsView<'a> {
+    /// The entry records (payload minus version byte and count), already
+    /// validated end-to-end.
+    raw: &'a [u8],
+    count: u32,
+}
+
+impl<'a> MetricsView<'a> {
+    /// Parses and exhaustively validates a metrics payload. A hostile
+    /// entry count cannot force an allocation: nothing is pre-reserved,
+    /// and the walk fails with [`WireError::Truncated`] as soon as the
+    /// payload runs out.
+    ///
+    /// # Errors
+    /// [`WireError::Truncated`] / [`WireError::BadPayload`].
+    pub fn parse(payload: &'a [u8]) -> WireResult<Self> {
+        let mut r = Reader { buf: payload };
+        let version = r.take(1)?[0];
+        if version != METRICS_SNAPSHOT_VERSION {
+            return Err(WireError::BadPayload("unknown metrics snapshot version"));
+        }
+        let count = r.u32()?;
+        let raw = r.buf;
+        let mut prev_name: Option<&str> = None;
+        for _ in 0..count {
+            let name_len = r.u16()? as usize;
+            let name = std::str::from_utf8(r.take(name_len)?)
+                .map_err(|_| WireError::BadPayload("metric name not utf-8"))?;
+            // Strictly ascending order makes the decoded snapshot honor
+            // the sorted-unique invariant its lookups rely on.
+            if prev_name.is_some_and(|prev| prev >= name) {
+                return Err(WireError::BadPayload("metric names not strictly ascending"));
+            }
+            prev_name = Some(name);
+            match r.take(1)?[0] {
+                0 | 1 => {
+                    r.u64()?;
+                }
+                2 => {
+                    r.u64()?; // sum
+                    r.u64()?; // max
+                    let buckets = r.take(1)?[0] as usize;
+                    if buckets > HISTOGRAM_BUCKETS {
+                        return Err(WireError::BadPayload("histogram bucket count exceeds 64"));
+                    }
+                    r.take(buckets * 8)?;
+                }
+                _ => return Err(WireError::BadPayload("unknown metric kind")),
+            }
+        }
+        r.finish()?;
+        Ok(Self { raw, count })
+    }
+
+    /// Number of metric entries in the snapshot.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.count as usize
+    }
+
+    /// Whether the snapshot carries no metrics.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Iterates the entries in wire (name-ascending) order. Names are
+    /// borrowed from the payload; histogram values materialize their
+    /// bucket vector.
+    pub fn entries(&self) -> impl Iterator<Item = (&'a str, MetricValue)> + 'a {
+        let mut r = Reader { buf: self.raw };
+        (0..self.count).map(move |_| {
+            // Infallible: `parse` validated this exact walk.
+            let name_len = r.u16().expect("validated at parse") as usize;
+            let name = std::str::from_utf8(r.take(name_len).expect("validated at parse"))
+                .expect("validated at parse");
+            let value = match r.take(1).expect("validated at parse")[0] {
+                0 => MetricValue::Counter(r.u64().expect("validated at parse")),
+                1 => MetricValue::Gauge(r.i64().expect("validated at parse")),
+                _ => {
+                    let sum = r.u64().expect("validated at parse");
+                    let max = r.u64().expect("validated at parse");
+                    let buckets = r.take(1).expect("validated at parse")[0] as usize;
+                    let raw = r.take(buckets * 8).expect("validated at parse");
+                    let buckets = raw
+                        .chunks_exact(8)
+                        .map(|c| u64::from_le_bytes(c.try_into().expect("8")))
+                        .collect();
+                    MetricValue::Histogram(HistogramSnapshot::from_parts(sum, max, buckets))
+                }
+            };
+            (name, value)
+        })
+    }
+
+    /// Materializes the owned [`TelemetrySnapshot`] (the cold path —
+    /// dashboards, tests).
+    #[must_use]
+    pub fn to_snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            entries: self
+                .entries()
+                .map(|(name, value)| MetricEntry {
+                    name: name.to_owned(),
+                    value,
+                })
+                .collect(),
+        }
+    }
+}
+
 /// A borrowed [`Frame`]: every payload reference points into the receive
 /// buffer, so decoding allocates nothing. [`Frame::decode_body`] is
 /// implemented as `FrameView::decode_body(..).map(FrameView::into_owned)`
@@ -640,6 +840,10 @@ pub enum FrameView<'a> {
     QueryStats,
     /// [`Frame::Stats`].
     Stats(StatsBody),
+    /// [`Frame::QueryMetrics`].
+    QueryMetrics,
+    /// Borrowed [`Frame::Metrics`].
+    Metrics(MetricsView<'a>),
     /// Borrowed [`Frame::Error`] (message validated as UTF-8 at parse).
     Error {
         /// One of the [`code`] constants.
@@ -720,7 +924,13 @@ impl<'a> FrameView<'a> {
                 frames_decoded: r.u64()?,
                 frames_failed: r.u64()?,
                 queries_answered: r.u64()?,
+                upstream_rejected_reports: r.u64()?,
+                ingest_frames: r.u64()?,
+                bytes_in: r.u64()?,
+                bytes_out: r.u64()?,
             }),
+            FT_QUERY_METRICS => FrameView::QueryMetrics,
+            FT_METRICS => return MetricsView::parse(payload).map(FrameView::Metrics),
             FT_ERROR => {
                 let code = r.u16()?;
                 let len = r.u32()? as usize;
@@ -765,6 +975,8 @@ impl<'a> FrameView<'a> {
             FrameView::Summary(s) => Frame::Summary(s),
             FrameView::QueryStats => Frame::QueryStats,
             FrameView::Stats(s) => Frame::Stats(s),
+            FrameView::QueryMetrics => Frame::QueryMetrics,
+            FrameView::Metrics(view) => Frame::Metrics(view.to_snapshot()),
             FrameView::Error { code, message } => Frame::Error {
                 code,
                 message: message.to_owned(),
@@ -844,6 +1056,8 @@ impl Frame {
             Frame::Summary(_) => FT_SUMMARY,
             Frame::QueryStats => FT_QUERY_STATS,
             Frame::Stats(_) => FT_STATS,
+            Frame::QueryMetrics => FT_QUERY_METRICS,
+            Frame::Metrics(_) => FT_METRICS,
             Frame::Error { .. } => FT_ERROR,
             Frame::Goodbye => FT_GOODBYE,
         }
@@ -874,6 +1088,7 @@ impl Frame {
             | Frame::QueryPopulationMean
             | Frame::QuerySummary
             | Frame::QueryStats
+            | Frame::QueryMetrics
             | Frame::Goodbye => {}
             Frame::IngestAck {
                 accepted,
@@ -918,8 +1133,43 @@ impl Frame {
                     s.frames_decoded,
                     s.frames_failed,
                     s.queries_answered,
+                    s.upstream_rejected_reports,
+                    s.ingest_frames,
+                    s.bytes_in,
+                    s.bytes_out,
                 ] {
                     buf.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            Frame::Metrics(snap) => {
+                buf.push(METRICS_SNAPSHOT_VERSION);
+                let count =
+                    u32::try_from(snap.entries.len()).expect("snapshot exceeds u32::MAX metrics");
+                buf.extend_from_slice(&count.to_le_bytes());
+                for entry in &snap.entries {
+                    let name_len = u16::try_from(entry.name.len())
+                        .expect("metric name exceeds u16::MAX bytes");
+                    buf.extend_from_slice(&name_len.to_le_bytes());
+                    buf.extend_from_slice(entry.name.as_bytes());
+                    match &entry.value {
+                        MetricValue::Counter(v) => {
+                            buf.push(0);
+                            buf.extend_from_slice(&v.to_le_bytes());
+                        }
+                        MetricValue::Gauge(v) => {
+                            buf.push(1);
+                            buf.extend_from_slice(&v.to_le_bytes());
+                        }
+                        MetricValue::Histogram(h) => {
+                            buf.push(2);
+                            buf.extend_from_slice(&h.sum().to_le_bytes());
+                            buf.extend_from_slice(&h.max().to_le_bytes());
+                            buf.push(u8::try_from(h.buckets().len()).expect("≤ 64 buckets"));
+                            for &b in h.buckets() {
+                                buf.extend_from_slice(&b.to_le_bytes());
+                            }
+                        }
+                    }
                 }
             }
             Frame::Error { code, message } => {
@@ -1039,8 +1289,31 @@ mod tests {
             Frame::Stats(StatsBody {
                 accepted_reports: 9,
                 frames_decoded: 3,
+                bytes_in: 4096,
                 ..StatsBody::default()
             }),
+            Frame::QueryMetrics,
+            Frame::Metrics(TelemetrySnapshot {
+                entries: vec![
+                    MetricEntry {
+                        name: "a.count".into(),
+                        value: MetricValue::Counter(42),
+                    },
+                    MetricEntry {
+                        name: "b.level".into(),
+                        value: MetricValue::Gauge(-7),
+                    },
+                    MetricEntry {
+                        name: "c.nanos".into(),
+                        value: MetricValue::Histogram(HistogramSnapshot::from_parts(
+                            1234,
+                            999,
+                            vec![1, 0, 3, 7],
+                        )),
+                    },
+                ],
+            }),
+            Frame::Metrics(TelemetrySnapshot::default()),
             Frame::Error {
                 code: code::MALFORMED,
                 message: "bad frame".into(),
@@ -1156,6 +1429,140 @@ mod tests {
                 );
             }
             other => panic!("wrong view {other:?}"),
+        }
+    }
+
+    fn sample_snapshot() -> TelemetrySnapshot {
+        let registry = ldp_telemetry::Registry::new();
+        registry.counter("ingest.accepted").add(1_000_000);
+        registry.gauge("connections.active").set(3);
+        let h = registry.histogram("ingest.fold_nanos");
+        for v in [90, 2_000, 65_000, 1 << 30] {
+            h.record(v);
+        }
+        registry.snapshot()
+    }
+
+    #[test]
+    fn metrics_view_iterates_and_materializes_identically() {
+        let snap = sample_snapshot();
+        let bytes = Frame::Metrics(snap.clone()).encode();
+        let view = match FrameView::decode_body(FT_METRICS, &bytes[HEADER_LEN..]).unwrap() {
+            FrameView::Metrics(v) => v,
+            other => panic!("wrong view {other:?}"),
+        };
+        assert_eq!(view.len(), 3);
+        assert!(!view.is_empty());
+        let names: Vec<_> = view.entries().map(|(name, _)| name).collect();
+        assert_eq!(
+            names,
+            vec!["connections.active", "ingest.accepted", "ingest.fold_nanos"]
+        );
+        let decoded = view.to_snapshot();
+        assert_eq!(decoded, snap);
+        // Quantiles survive the wire: same buckets, same estimates.
+        let h = decoded.histogram("ingest.fold_nanos").unwrap();
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.max(), 1 << 30);
+        assert_eq!(h.p99(), snap.histogram("ingest.fold_nanos").unwrap().p99());
+    }
+
+    fn metrics_frame_with_payload(payload: &[u8]) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(WIRE_VERSION);
+        bytes.push(FT_METRICS);
+        bytes.extend_from_slice(&[0, 0]);
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&checksum(payload).to_le_bytes());
+        bytes.extend_from_slice(payload);
+        bytes
+    }
+
+    #[test]
+    fn hostile_metrics_entry_count_cannot_force_allocation() {
+        // A snapshot claiming u32::MAX entries in a 5-byte payload must
+        // fail the structural walk, not trigger a huge reservation.
+        let mut payload = vec![METRICS_SNAPSHOT_VERSION];
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&metrics_frame_with_payload(&payload), DEFAULT_MAX_PAYLOAD),
+            Err(WireError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn metrics_snapshot_version_is_checked() {
+        let mut bytes = Frame::Metrics(sample_snapshot()).encode();
+        bytes[HEADER_LEN] = METRICS_SNAPSHOT_VERSION + 1;
+        // Re-checksum so only the snapshot version is at fault.
+        let sum = checksum(&bytes[HEADER_LEN..]);
+        bytes[12..16].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&bytes, DEFAULT_MAX_PAYLOAD),
+            Err(WireError::BadPayload("unknown metrics snapshot version"))
+        ));
+    }
+
+    #[test]
+    fn hostile_metrics_payloads_are_refused() {
+        let encode_entry = |name: &str, kind: u8| {
+            let mut p = Vec::new();
+            p.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            p.extend_from_slice(name.as_bytes());
+            p.push(kind);
+            p.extend_from_slice(&7u64.to_le_bytes());
+            p
+        };
+        let with_entries = |entries: &[Vec<u8>]| {
+            let mut p = vec![METRICS_SNAPSHOT_VERSION];
+            p.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+            for e in entries {
+                p.extend_from_slice(e);
+            }
+            p
+        };
+
+        // Unknown metric kind.
+        let bad_kind = with_entries(&[encode_entry("a", 3)]);
+        // Names out of order (and duplicates, which "not strictly
+        // ascending" also covers).
+        let unsorted = with_entries(&[encode_entry("b", 0), encode_entry("a", 0)]);
+        let duplicate = with_entries(&[encode_entry("a", 0), encode_entry("a", 0)]);
+        // Histogram claiming more than 64 buckets.
+        let mut fat_hist = vec![METRICS_SNAPSHOT_VERSION];
+        fat_hist.extend_from_slice(&1u32.to_le_bytes());
+        fat_hist.extend_from_slice(&(1u16).to_le_bytes());
+        fat_hist.push(b'h');
+        fat_hist.push(2);
+        fat_hist.extend_from_slice(&0u64.to_le_bytes()); // sum
+        fat_hist.extend_from_slice(&0u64.to_le_bytes()); // max
+        fat_hist.push(65);
+        fat_hist.extend_from_slice(&vec![0u8; 65 * 8]);
+        // Non-UTF-8 name.
+        let mut bad_name = vec![METRICS_SNAPSHOT_VERSION];
+        bad_name.extend_from_slice(&1u32.to_le_bytes());
+        bad_name.extend_from_slice(&(2u16).to_le_bytes());
+        bad_name.extend_from_slice(&[0xFF, 0xFE]);
+        bad_name.push(0);
+        bad_name.extend_from_slice(&0u64.to_le_bytes());
+
+        for payload in [bad_kind, unsorted, duplicate, fat_hist, bad_name] {
+            assert!(matches!(
+                Frame::decode(&metrics_frame_with_payload(&payload), DEFAULT_MAX_PAYLOAD),
+                Err(WireError::BadPayload(_))
+            ));
+        }
+
+        // Truncation anywhere in a valid metrics frame is caught (by the
+        // checksum at the envelope level, or Truncated below it).
+        let good = Frame::Metrics(sample_snapshot()).encode();
+        let payload = good[HEADER_LEN..].to_vec();
+        for cut in 0..payload.len() {
+            assert!(
+                FrameView::decode_body(FT_METRICS, &payload[..cut]).is_err(),
+                "cut at {cut} accepted"
+            );
         }
     }
 
@@ -1363,6 +1770,10 @@ mod tests {
                 frames_decoded: start / 3,
                 frames_failed: 2,
                 queries_answered: len,
+                upstream_rejected_reports: n_means as u64 / 2,
+                ingest_frames: start / 7,
+                bytes_in: start * 24,
+                bytes_out: len * 17,
             }));
         }
 

@@ -1,0 +1,199 @@
+//! The metric registry: a named directory of lock-free metric handles.
+
+use crate::metric::{Counter, Gauge, Histogram};
+use crate::snapshot::{MetricEntry, MetricValue, TelemetrySnapshot};
+use std::sync::{Arc, Mutex};
+
+/// A handle to one registered metric.
+#[derive(Debug, Clone)]
+pub enum Metric {
+    /// A monotone counter.
+    Counter(Arc<Counter>),
+    /// A signed level.
+    Gauge(Arc<Gauge>),
+    /// A log-bucketed distribution.
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+
+    fn read(&self) -> MetricValue {
+        match self {
+            Metric::Counter(c) => MetricValue::Counter(c.get()),
+            Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+            Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+        }
+    }
+}
+
+/// A named directory of metrics.
+///
+/// Updating a metric through its `Arc` handle is lock-free — the handle
+/// is the atomic. The registry's own mutex guards only the name table,
+/// taken on registration (startup) and [`Self::snapshot`] (a dashboard
+/// poll), never on the ingest/query hot paths.
+///
+/// Registration is **get-or-create**: asking for an existing name of the
+/// same kind returns the same underlying atomic (so e.g. two query
+/// engines over one collector share histograms instead of colliding).
+/// Asking for an existing name with a *different* kind panics — that is
+/// a wiring bug, not a runtime condition.
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: Mutex<Vec<(String, Metric)>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Gets or creates the counter named `name`.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different kind.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        match self.register(name, || Metric::Counter(Arc::new(Counter::new()))) {
+            Metric::Counter(c) => c,
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Gets or creates the gauge named `name`.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different kind.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        match self.register(name, || Metric::Gauge(Arc::new(Gauge::new()))) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Gets or creates the histogram named `name`.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different kind.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        match self.register(name, || Metric::Histogram(Arc::new(Histogram::new()))) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    fn register(&self, name: &str, create: impl FnOnce() -> Metric) -> Metric {
+        let mut entries = self.entries.lock().expect("registry poisoned");
+        match entries.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+            Ok(i) => entries[i].1.clone(),
+            Err(i) => {
+                let metric = create();
+                entries.insert(i, (name.to_owned(), metric.clone()));
+                metric
+            }
+        }
+    }
+
+    /// Number of registered metrics.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("registry poisoned").len()
+    }
+
+    /// Whether no metric has been registered yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A point-in-time copy of every registered metric, sorted by name.
+    /// Each histogram is copied bucket-by-bucket under no lock but its
+    /// own atomics — see [`crate::Histogram::snapshot`] for the
+    /// staleness/consistency contract.
+    #[must_use]
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let entries = self.entries.lock().expect("registry poisoned");
+        TelemetrySnapshot {
+            entries: entries
+                .iter()
+                .map(|(name, metric)| MetricEntry {
+                    name: name.clone(),
+                    value: metric.read(),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_get_or_create() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2, "same underlying atomic");
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _c = r.counter("x");
+        let _h = r.histogram("x");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let r = Registry::new();
+        r.counter("z.count").add(3);
+        r.gauge("a.level").set(-1);
+        r.histogram("m.nanos").record(100);
+        let snap = r.snapshot();
+        let names: Vec<_> = snap.entries.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["a.level", "m.nanos", "z.count"]);
+        assert_eq!(snap.counter("z.count"), Some(3));
+        assert_eq!(snap.gauge("a.level"), Some(-1));
+        assert_eq!(snap.histogram("m.nanos").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn concurrent_updates_are_all_observed_at_quiescence() {
+        let r = Registry::new();
+        let counter = r.counter("c");
+        let hist = r.histogram("h");
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let counter = Arc::clone(&counter);
+                let hist = Arc::clone(&hist);
+                scope.spawn(move || {
+                    for i in 0..10_000u64 {
+                        counter.inc();
+                        hist.record(i % 4096);
+                    }
+                });
+            }
+        });
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("c"), Some(80_000));
+        let h = snap.histogram("h").unwrap();
+        assert_eq!(h.count(), 80_000);
+        assert_eq!(h.max(), 4095);
+    }
+}

@@ -73,17 +73,34 @@ fn main() {
         uploaded as f64 / elapsed.as_secs_f64() / 1e6,
     );
     println!(
-        "server counters: {} accepted, {} dropped, {} rejected; \
+        "server counters: {} accepted, {} dropped, {} rejected ({} upstream); \
          {} connections total ({} refused); {} frames decoded, {} failed; {} queries",
         stats.accepted_reports,
         stats.dropped_reports,
         stats.rejected_reports,
+        stats.upstream_rejected_reports,
         stats.total_connections,
         stats.rejected_connections,
         stats.frames_decoded,
         stats.frames_failed,
         stats.queries_answered,
     );
+    println!(
+        "wire transport: {} ingest frames, {:.1} MiB in, {:.1} MiB out",
+        stats.ingest_frames,
+        stats.bytes_in as f64 / (1 << 20) as f64,
+        stats.bytes_out as f64 / (1 << 20) as f64,
+    );
+    let metrics = dash.metrics().expect("metrics");
+    if let Some(fold) = metrics.histogram("collector.ingest.fold_nanos") {
+        println!(
+            "ingest fold latency: p99 ≤ {}µs over {} batches (p50 ≤ {}µs, max {}µs)",
+            fold.p99().unwrap_or(0) / 1_000,
+            fold.count(),
+            fold.p50().unwrap_or(0) / 1_000,
+            fold.max() / 1_000,
+        );
+    }
     let truth = ldp_core::crowd::true_windowed_population_mean(&population, 0..slots);
     println!(
         "population mean: remote estimate {:.4} vs ground truth {:.4} ({} users seen)",

@@ -10,11 +10,20 @@
 //!
 //! The counter is thread-local, so the other tests in this binary (and
 //! any helper threads) cannot perturb the measurement.
+//!
+//! Telemetry rides along deliberately: the collector's ingest metrics
+//! (fold-latency histogram, disposition counters) record inside
+//! `ingest_outcome`, and `run_frame` additionally performs the server's
+//! per-frame recording (decode timer, frame/byte counters) — so a pass
+//! here proves the telemetry subsystem keeps the steady state
+//! allocation-free *while enabled and recording*.
 
 use ldp_collector::{Collector, CollectorConfig, ReportBatch};
 use ldp_server::wire::{Frame, FrameView, Header, IngestScratch, HEADER_LEN};
+use ldp_telemetry::{Counter, Histogram};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
+use std::sync::Arc;
 
 /// Counts allocation events (alloc / alloc_zeroed / realloc) on the
 /// current thread, delegating the actual memory management to [`System`].
@@ -74,24 +83,51 @@ fn steady_batch(reports: usize, users: u64, slots: u64, salt: u64) -> ReportBatc
     batch
 }
 
+/// The server's per-frame telemetry handles (same names serve.rs
+/// registers), recorded by [`run_frame`] the way a connection thread
+/// records them.
+struct WireTelemetry {
+    frames_decoded: Arc<Counter>,
+    bytes_in: Arc<Counter>,
+    decode_nanos: Arc<Histogram>,
+}
+
+impl WireTelemetry {
+    fn register(collector: &Collector) -> Self {
+        let registry = collector.telemetry();
+        Self {
+            frames_decoded: registry.counter("server.frames.decoded"),
+            bytes_in: registry.counter("server.bytes.in"),
+            decode_nanos: registry.histogram("server.frame.decode_nanos"),
+        }
+    }
+}
+
 /// One full frame trip: encode into `frame_buf`, then decode borrowed and
 /// fold into `collector` through `scratch` — exactly the per-frame work a
-/// server connection thread performs after its read buffers are filled.
+/// server connection thread performs after its read buffers are filled,
+/// including the telemetry recording (byte/frame counters around a
+/// decode-latency timer; the fold timer records inside `ingest_outcome`).
 fn run_frame(
     batch: &ReportBatch,
     frame_buf: &mut Vec<u8>,
     scratch: &mut IngestScratch,
     collector: &Collector,
+    telemetry: &WireTelemetry,
 ) -> u64 {
     frame_buf.clear();
     Frame::encode_ingest_into(batch, frame_buf);
     let header = Header::parse(frame_buf[..HEADER_LEN].try_into().expect("header")).expect("parse");
     let payload = &frame_buf[HEADER_LEN..];
+    telemetry.bytes_in.add(frame_buf.len() as u64);
+    let decode_timer = telemetry.decode_nanos.timer();
     header.verify(payload).expect("checksum");
     let view = match FrameView::decode_body(header.frame_type, payload).expect("decode") {
         FrameView::Ingest(view) => view,
         other => panic!("expected ingest view, got {other:?}"),
     };
+    drop(decode_timer);
+    telemetry.frames_decoded.inc();
     collector.note_upstream_rejections(view.rejected_upstream());
     let columns = view.columns(scratch);
     collector.ingest_outcome(&columns).accepted
@@ -108,12 +144,13 @@ fn steady_state_ingest_path_performs_zero_allocations() {
     let batch = steady_batch(4096, 512, 64, 7);
     let mut frame_buf = Vec::new();
     let mut scratch = IngestScratch::default();
+    let telemetry = WireTelemetry::register(&collector);
 
     // Warmup: grows the frame buffer, the decode scratch, the routing
     // scratch, each shard's slot window, and every user-table entry.
     for _ in 0..8 {
         assert_eq!(
-            run_frame(&batch, &mut frame_buf, &mut scratch, &collector),
+            run_frame(&batch, &mut frame_buf, &mut scratch, &collector, &telemetry),
             batch.len() as u64
         );
     }
@@ -121,7 +158,7 @@ fn steady_state_ingest_path_performs_zero_allocations() {
     let before = allocation_events();
     let mut accepted = 0u64;
     for _ in 0..32 {
-        accepted += run_frame(&batch, &mut frame_buf, &mut scratch, &collector);
+        accepted += run_frame(&batch, &mut frame_buf, &mut scratch, &collector, &telemetry);
     }
     let after = allocation_events();
 
@@ -129,7 +166,28 @@ fn steady_state_ingest_path_performs_zero_allocations() {
     assert_eq!(
         after - before,
         0,
-        "steady-state decode → route → fold must not touch the heap"
+        "steady-state decode → route → fold — telemetry included — \
+         must not touch the heap"
+    );
+
+    // The registry observed every frame (recording worked, it wasn't
+    // no-op'd away): one fold + one decode sample and one frame count per
+    // trip, and the accepted counter is the collector's own ledger.
+    let snap = collector.telemetry().snapshot();
+    assert_eq!(snap.counter("server.frames.decoded"), Some(40));
+    assert_eq!(
+        snap.histogram("collector.ingest.fold_nanos")
+            .unwrap()
+            .count(),
+        40
+    );
+    assert_eq!(
+        snap.histogram("server.frame.decode_nanos").unwrap().count(),
+        40
+    );
+    assert_eq!(
+        snap.counter("collector.reports.accepted"),
+        Some(40 * batch.len() as u64)
     );
 }
 
@@ -142,12 +200,13 @@ fn single_shard_fast_path_is_also_allocation_free() {
     let batch = steady_batch(2048, 256, 32, 21);
     let mut frame_buf = Vec::new();
     let mut scratch = IngestScratch::default();
+    let telemetry = WireTelemetry::register(&collector);
     for _ in 0..8 {
-        run_frame(&batch, &mut frame_buf, &mut scratch, &collector);
+        run_frame(&batch, &mut frame_buf, &mut scratch, &collector, &telemetry);
     }
     let before = allocation_events();
     for _ in 0..32 {
-        run_frame(&batch, &mut frame_buf, &mut scratch, &collector);
+        run_frame(&batch, &mut frame_buf, &mut scratch, &collector, &telemetry);
     }
     assert_eq!(allocation_events() - before, 0);
 }
@@ -173,12 +232,13 @@ fn screening_on_the_routing_pass_allocates_nothing_either() {
     let batch = ReportBatch::from_columns(users, slots, values);
     let mut frame_buf = Vec::new();
     let mut scratch = IngestScratch::default();
+    let telemetry = WireTelemetry::register(&collector);
     for _ in 0..8 {
-        run_frame(&batch, &mut frame_buf, &mut scratch, &collector);
+        run_frame(&batch, &mut frame_buf, &mut scratch, &collector, &telemetry);
     }
     let before = allocation_events();
     for _ in 0..16 {
-        run_frame(&batch, &mut frame_buf, &mut scratch, &collector);
+        run_frame(&batch, &mut frame_buf, &mut scratch, &collector, &telemetry);
     }
     assert_eq!(allocation_events() - before, 0);
     assert!(
