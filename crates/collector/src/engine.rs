@@ -1,6 +1,7 @@
 //! The sharded collector engine.
 
 use crate::accumulator::{ShardAccumulator, SlotRetention};
+use crate::pool::IngestPool;
 use crate::report::AsReportColumns;
 use crate::snapshot::CollectorSnapshot;
 use ldp_telemetry::{Counter, Histogram, Registry};
@@ -10,6 +11,13 @@ use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 /// Default bound on the dense slot range (see [`CollectorConfig::max_slots`]).
 pub const DEFAULT_MAX_SLOTS: u64 = 1 << 20;
+
+/// Default minimum routed-report count before a batch's fold pass is
+/// dispatched to the work-stealing pool (see
+/// [`CollectorConfig::parallel_fold_min`]). Below this, handing runs to
+/// other threads costs more than folding them in place: the injector
+/// round trip is ~a microsecond while a small run folds in less.
+pub const DEFAULT_PARALLEL_FOLD_MIN: usize = 16 * 1024;
 
 /// The machine's available parallelism, queried once and cached — the
 /// single number collector shard defaults, fleet thread counts, and
@@ -23,6 +31,35 @@ pub fn default_parallelism() -> usize {
         std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(4)
+    })
+}
+
+/// Default ingest-pool worker count: the `LDP_INGEST_WORKERS`
+/// environment override if set, else one fold worker per core *beyond*
+/// the submitting thread (capped at 8 — fold parallelism is bounded by
+/// the shard count anyway). On a single-core machine this is 0: the
+/// pool is never spawned and every fold is inline, exactly the pre-pool
+/// behavior.
+#[must_use]
+pub fn default_ingest_workers() -> usize {
+    static WORKERS: OnceLock<usize> = OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        std::env::var("LDP_INGEST_WORKERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| default_parallelism().saturating_sub(1).min(8))
+    })
+}
+
+/// Default parallel-dispatch threshold: `LDP_INGEST_PARALLEL_MIN` if
+/// set, else [`DEFAULT_PARALLEL_FOLD_MIN`].
+fn default_parallel_fold_min() -> usize {
+    static MIN: OnceLock<usize> = OnceLock::new();
+    *MIN.get_or_init(|| {
+        std::env::var("LDP_INGEST_PARALLEL_MIN")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_PARALLEL_FOLD_MIN)
     })
 }
 
@@ -44,18 +81,39 @@ pub struct CollectorConfig {
     /// window is always covered), folding older slots into exact frozen
     /// prefix totals — collector memory stays O(R) on unbounded streams.
     pub retention: SlotRetention,
+    /// Worker threads for the work-stealing parallel shard fold. `0`
+    /// folds every batch inline on the submitting thread (the pre-pool
+    /// behavior); `N > 0` spawns `N` stealing threads **lazily, on the
+    /// first batch that qualifies for parallel dispatch** — a collector
+    /// that only ever sees small or single-shard batches never pays for
+    /// a thread. Total fold parallelism for one batch is `workers + 1`:
+    /// the submitter participates (fold-own, then steal) until its
+    /// batch's completion counter drains, so per-batch
+    /// [`IngestOutcome`] ledgers are exact and results are bit-identical
+    /// to a serial fold. Default: [`default_ingest_workers`]
+    /// (`LDP_INGEST_WORKERS` overrides).
+    pub ingest_workers: usize,
+    /// Minimum routed (accepted) report count before a multi-shard
+    /// batch's fold pass is dispatched to the pool; smaller batches —
+    /// and batches touching a single shard — fold inline. Default:
+    /// [`DEFAULT_PARALLEL_FOLD_MIN`] (`LDP_INGEST_PARALLEL_MIN`
+    /// overrides).
+    pub parallel_fold_min: usize,
 }
 
 impl Default for CollectorConfig {
     /// One shard per available core (capped at 16, via the process-wide
     /// cached [`default_parallelism`]); slot bound [`DEFAULT_MAX_SLOTS`];
-    /// unbounded retention.
+    /// unbounded retention; fold-pool sizing per
+    /// [`default_ingest_workers`].
     fn default() -> Self {
         let shards = default_parallelism().min(16);
         Self {
             shards,
             max_slots: DEFAULT_MAX_SLOTS,
             retention: SlotRetention::Unbounded,
+            ingest_workers: default_ingest_workers(),
+            parallel_fold_min: default_parallel_fold_min(),
         }
     }
 }
@@ -90,6 +148,15 @@ struct ShardScratch {
 /// Sentinel shard id for a screened-out report (an engine never has
 /// `u32::MAX` shards; [`Collector::new`] would exhaust memory first).
 const SKIP: u32 = u32::MAX;
+
+/// The counting sort indexes a batch's rows with `u32` (half the scratch
+/// footprint of `usize` on 64-bit, and run descriptors stay 16 bytes).
+/// A batch beyond that index space would silently alias rows, so the
+/// routing pass processes at most this many rows per chunk — each chunk
+/// is routed, scattered, and folded independently, which preserves the
+/// ledger exactly and the fold order (and therefore every accumulator
+/// bit) too.
+const ROUTE_CHUNK_ROWS: usize = u32::MAX as usize;
 
 thread_local! {
     /// Each ingesting thread routes through its own scratch — connection
@@ -132,6 +199,11 @@ struct CollectorMetrics {
     batches: Arc<Counter>,
     /// `collector.ingest.fold_nanos` — per-batch route+fold latency.
     fold_nanos: Arc<Histogram>,
+    /// `collector.ingest.fold_parallel_nanos` — fold-pass latency for
+    /// the batches dispatched to the work-stealing pool (a subset of
+    /// `fold_nanos`; comparing the two tails is the speedup signal the
+    /// dashboard shows).
+    fold_parallel_nanos: Arc<Histogram>,
     /// `collector.shard.<k>.batches` — batches that folded reports into
     /// shard `k`: the shard-imbalance signal.
     shard_batches: Vec<Arc<Counter>>,
@@ -146,6 +218,7 @@ impl CollectorMetrics {
             rejected_upstream: registry.counter("collector.reports.rejected_upstream"),
             batches: registry.counter("collector.ingest.batches"),
             fold_nanos: registry.histogram("collector.ingest.fold_nanos"),
+            fold_parallel_nanos: registry.histogram("collector.ingest.fold_parallel_nanos"),
             shard_batches: (0..shards)
                 .map(|k| registry.counter(&format!("collector.shard.{k:02}.batches")))
                 .collect(),
@@ -162,6 +235,14 @@ impl CollectorMetrics {
 pub struct Collector {
     shards: Vec<Shard>,
     max_slots: u64,
+    ingest_workers: usize,
+    parallel_fold_min: usize,
+    /// The work-stealing fold pool, spawned lazily on the first batch
+    /// that qualifies for parallel dispatch (never, when
+    /// `ingest_workers == 0`). Living inside the collector means every
+    /// ingesting thread — all of a server's connection threads share an
+    /// `Arc<Collector>` — shares one pool.
+    pool: OnceLock<IngestPool>,
     telemetry: Arc<Registry>,
     metrics: CollectorMetrics,
 }
@@ -190,8 +271,41 @@ impl Collector {
                 })
                 .collect(),
             max_slots: config.max_slots,
+            ingest_workers: config.ingest_workers,
+            parallel_fold_min: config.parallel_fold_min.max(1),
+            pool: OnceLock::new(),
             telemetry,
             metrics,
+        }
+    }
+
+    /// The fold pool, spawning it on first use. `None` when the
+    /// collector is configured without workers.
+    fn pool(&self) -> Option<&IngestPool> {
+        if self.ingest_workers == 0 {
+            return None;
+        }
+        Some(
+            self.pool
+                .get_or_init(|| IngestPool::start(self.ingest_workers, &self.telemetry)),
+        )
+    }
+
+    /// Configured fold-pool worker count (0 = always-inline folds).
+    #[must_use]
+    pub fn ingest_workers(&self) -> usize {
+        self.ingest_workers
+    }
+
+    /// Stops the fold pool's worker threads, if they were ever spawned.
+    /// No run is lost: workers drain the injector before exiting, and a
+    /// submit racing the stop folds its own leftovers — every in-flight
+    /// batch still completes with an exact ledger. Subsequent ingests
+    /// fold inline. Idempotent; dropping the collector stops the pool
+    /// too.
+    pub fn stop_ingest_pool(&self) {
+        if let Some(pool) = self.pool.get() {
+            pool.stop();
         }
     }
 
@@ -252,32 +366,10 @@ impl Collector {
         // to nothing at normal batch sizes, and a no-op when disabled.
         let fold_timer = self.metrics.fold_nanos.timer();
         let mut tally = IngestOutcome::default();
-        let first_shard = self.shard_of(users[0]);
-        let uniform =
-            self.shards.len() == 1 || users.iter().all(|&u| self.shard_of(u) == first_shard);
-        if uniform {
-            let shard = &self.shards[first_shard];
-            let mut acc = shard.acc.lock().expect("collector shard poisoned");
-            for i in 0..users.len() {
-                if slots[i] >= self.max_slots {
-                    tally.dropped += 1;
-                } else if !values[i].is_finite() {
-                    tally.rejected += 1;
-                } else {
-                    acc.ingest_parts(users[i], slots[i], values[i]);
-                    tally.accepted += 1;
-                }
-            }
-            drop(acc);
-            if tally.accepted > 0 {
-                shard.epoch.fetch_add(1, Ordering::Release);
-                self.metrics.shard_batches[first_shard].inc();
-            }
+        if self.shards.len() == 1 {
+            self.ingest_single_shard(0, users, slots, values, &mut tally);
         } else {
-            SHARD_SCRATCH.with(|scratch| {
-                let mut scratch = scratch.borrow_mut();
-                self.ingest_runs(&mut scratch, users, slots, values, &mut tally);
-            });
+            self.ingest_chunked(users, slots, values, ROUTE_CHUNK_ROWS, &mut tally);
         }
         drop(fold_timer); // record route+fold, not the tallying below
         self.metrics.batches.inc();
@@ -287,12 +379,77 @@ impl Collector {
         tally
     }
 
+    /// The single-shard fast path (a one-shard collector): one lock, no
+    /// routing scratch, screening inline.
+    fn ingest_single_shard(
+        &self,
+        shard_idx: usize,
+        users: &[u64],
+        slots: &[u64],
+        values: &[f64],
+        tally: &mut IngestOutcome,
+    ) {
+        let shard = &self.shards[shard_idx];
+        let mut accepted = 0u64;
+        {
+            let mut acc = shard.acc.lock().expect("collector shard poisoned");
+            for i in 0..users.len() {
+                if slots[i] >= self.max_slots {
+                    tally.dropped += 1;
+                } else if !values[i].is_finite() {
+                    tally.rejected += 1;
+                } else {
+                    acc.ingest_parts(users[i], slots[i], values[i]);
+                    accepted += 1;
+                }
+            }
+        }
+        if accepted > 0 {
+            shard.epoch.fetch_add(1, Ordering::Release);
+            self.metrics.shard_batches[shard_idx].inc();
+            tally.accepted += accepted;
+        }
+    }
+
+    /// Multi-shard ingest in row chunks the counting sort can index with
+    /// `u32` (see [`ROUTE_CHUNK_ROWS`]); the chunk size is a parameter
+    /// only so tests can exercise the boundary without a 4-billion-row
+    /// batch.
+    fn ingest_chunked(
+        &self,
+        users: &[u64],
+        slots: &[u64],
+        values: &[f64],
+        chunk_rows: usize,
+        tally: &mut IngestOutcome,
+    ) {
+        SHARD_SCRATCH.with(|scratch| {
+            let mut scratch = scratch.borrow_mut();
+            let mut start = 0;
+            while start < users.len() {
+                let end = users.len().min(start + chunk_rows);
+                self.ingest_runs(
+                    &mut scratch,
+                    &users[start..end],
+                    &slots[start..end],
+                    &values[start..end],
+                    tally,
+                );
+                start = end;
+            }
+        });
+    }
+
     /// The multi-shard ingest path: one **routing pass** computes each
     /// report's shard and screens slot bounds and non-finite values (so
-    /// nothing is re-checked under a lock), a counting sort scatters the
-    /// accepted indices into contiguous per-shard runs inside `scratch`,
-    /// and the **fold pass** takes each touched shard's mutex once and
-    /// streams its run into the accumulator.
+    /// nothing is re-checked under a lock) while watching whether every
+    /// accepted report lands on one shard — the uniform case (every
+    /// fleet upload is) skips the sort entirely. Otherwise a counting
+    /// sort scatters the accepted indices into contiguous per-shard runs
+    /// inside `scratch`, and the **fold pass** either streams each run
+    /// under its shard's mutex inline, or — when the batch is large
+    /// enough and a pool is configured — dispatches the runs to the
+    /// work-stealing pool and participates until they drain.
     fn ingest_runs(
         &self,
         scratch: &mut ShardScratch,
@@ -306,7 +463,12 @@ impl Collector {
         scratch.cursors.resize(n_shards, 0);
         scratch.shard.clear();
         scratch.shard.reserve(users.len());
-        // Routing pass: shard + screen in one stream over the columns.
+        // Routing pass: shard + screen in one stream over the columns,
+        // detecting single-destination batches on the fly (the old
+        // implementation pre-scanned the user column a whole extra time
+        // — and re-hashed every user — just to ask "uniform?").
+        let mut first_dest = SKIP;
+        let mut uniform = true;
         for i in 0..users.len() {
             let destination = if slots[i] >= self.max_slots {
                 tally.dropped += 1;
@@ -317,18 +479,51 @@ impl Collector {
             } else {
                 let s = self.shard_of(users[i]);
                 scratch.cursors[s] += 1;
-                s as u32
+                let s = s as u32;
+                if first_dest == SKIP {
+                    first_dest = s;
+                } else if s != first_dest {
+                    uniform = false;
+                }
+                s
             };
             scratch.shard.push(destination);
+        }
+        if first_dest == SKIP {
+            return; // every report screened out; no shard touched
+        }
+        if uniform {
+            // Single destination: fold straight off the routing
+            // decisions — no prefix sum, no scatter, one lock.
+            let shard_idx = first_dest as usize;
+            let shard = &self.shards[shard_idx];
+            let mut accepted = 0u64;
+            {
+                let mut acc = shard.acc.lock().expect("collector shard poisoned");
+                for (i, &destination) in scratch.shard.iter().enumerate() {
+                    if destination != SKIP {
+                        acc.ingest_parts(users[i], slots[i], values[i]);
+                        accepted += 1;
+                    }
+                }
+            }
+            shard.epoch.fetch_add(1, Ordering::Release);
+            self.metrics.shard_batches[shard_idx].inc();
+            tally.accepted += accepted;
+            return;
         }
         // Prefix-sum the counts into run boundaries, leaving `cursors`
         // as each shard's scatter position.
         scratch.starts.clear();
         scratch.starts.reserve(n_shards + 1);
         let mut total = 0u32;
+        let mut non_empty_runs = 0usize;
         for cursor in &mut scratch.cursors {
             scratch.starts.push(total);
             let count = *cursor;
+            if count > 0 {
+                non_empty_runs += 1;
+            }
             *cursor = total;
             total += count;
         }
@@ -343,23 +538,53 @@ impl Collector {
                 *cursor += 1;
             }
         }
-        // Fold pass: one lock per touched shard, one contiguous run each.
-        for (shard_idx, shard) in self.shards.iter().enumerate() {
+        tally.accepted += u64::from(total);
+        // Fold pass. Large run sets go to the work-stealing pool (the
+        // submitter participates until its batch drains, so the ledger
+        // above is already exact); small ones fold inline — below the
+        // threshold the injector round trip costs more than the fold.
+        if non_empty_runs >= 2 && total as usize >= self.parallel_fold_min {
+            if let Some(pool) = self.pool().filter(|p| p.is_active()) {
+                let parallel_timer = self.metrics.fold_parallel_nanos.timer();
+                pool.fold_batch(self, users, slots, values, &scratch.idx, &scratch.starts);
+                drop(parallel_timer);
+                return;
+            }
+        }
+        // Serial fold: one lock per touched shard, one contiguous run each.
+        for shard_idx in 0..n_shards {
             let run = &scratch.idx
                 [scratch.starts[shard_idx] as usize..scratch.starts[shard_idx + 1] as usize];
             if run.is_empty() {
                 continue;
             }
+            self.fold_run(shard_idx, users, slots, values, run);
+        }
+    }
+
+    /// Folds one contiguous index run into one shard: the unit of work
+    /// both the serial fold pass and the work-stealing pool execute —
+    /// shared so the two cannot diverge. Within a batch each shard's run
+    /// is folded in index order by exactly one thread, which is why a
+    /// parallel fold is bit-identical to a serial one.
+    pub(crate) fn fold_run(
+        &self,
+        shard_idx: usize,
+        users: &[u64],
+        slots: &[u64],
+        values: &[f64],
+        run: &[u32],
+    ) {
+        let shard = &self.shards[shard_idx];
+        {
             let mut acc = shard.acc.lock().expect("collector shard poisoned");
             for &i in run {
                 let i = i as usize;
                 acc.ingest_parts(users[i], slots[i], values[i]);
             }
-            drop(acc);
-            shard.epoch.fetch_add(1, Ordering::Release);
-            self.metrics.shard_batches[shard_idx].inc();
-            tally.accepted += run.len() as u64;
         }
+        shard.epoch.fetch_add(1, Ordering::Release);
+        self.metrics.shard_batches[shard_idx].inc();
     }
 
     /// Total reports accepted so far, across all shards. Served from a
@@ -679,6 +904,124 @@ mod tests {
         let snap = c.snapshot();
         let means: Vec<f64> = rows.iter().map(|&(_, n, s)| s / n as f64).collect();
         assert_eq!(means, snap.per_user_means());
+    }
+
+    /// A multi-shard batch with screening mixed in: some slots out of
+    /// bounds, some values non-finite, users spread across shards.
+    fn hostile_columns(n: usize, seed: u64) -> (Vec<u64>, Vec<u64>, Vec<f64>) {
+        let mut users = Vec::with_capacity(n);
+        let mut slots = Vec::with_capacity(n);
+        let mut values = Vec::with_capacity(n);
+        let mut state = seed | 1;
+        for _ in 0..n {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            users.push(state >> 48);
+            slots.push(if state.is_multiple_of(11) {
+                u64::MAX
+            } else {
+                state % 32
+            });
+            values.push(if state.is_multiple_of(7) {
+                f64::NAN
+            } else {
+                (state % 4096) as f64 / 4096.0
+            });
+        }
+        (users, slots, values)
+    }
+
+    fn assert_bit_identical(a: &Collector, b: &Collector) {
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        assert_eq!(sa.total_reports(), sb.total_reports());
+        assert_eq!(sa.user_ids(), sb.user_ids());
+        let means_a: Vec<u64> = sa.per_user_means().iter().map(|m| m.to_bits()).collect();
+        let means_b: Vec<u64> = sb.per_user_means().iter().map(|m| m.to_bits()).collect();
+        assert_eq!(means_a, means_b, "per-user means must match bit for bit");
+        assert_eq!(sa.slot_count(), sb.slot_count());
+        for (x, y) in sa.slots().iter().zip(sb.slots()) {
+            assert_eq!(x.count, y.count);
+            assert_eq!(x.sum.to_bits(), y.sum.to_bits());
+            assert_eq!(x.sum_sq.to_bits(), y.sum_sq.to_bits());
+        }
+    }
+
+    #[test]
+    fn chunked_routing_matches_single_pass_at_the_boundary() {
+        // The real chunk size is u32::MAX rows; routing must behave
+        // identically — ledger and accumulator bits — wherever the chunk
+        // boundary falls, including exactly at and one past it.
+        let chunk = 64;
+        for n in [chunk - 1, chunk, chunk + 1, 3 * chunk + 7] {
+            let (users, slots, values) = hostile_columns(n, n as u64);
+            let reference = Collector::new(config(5));
+            let chunked = Collector::new(config(5));
+            let mut one_pass = IngestOutcome::default();
+            reference.ingest_chunked(&users, &slots, &values, ROUTE_CHUNK_ROWS, &mut one_pass);
+            let mut many_pass = IngestOutcome::default();
+            chunked.ingest_chunked(&users, &slots, &values, chunk, &mut many_pass);
+            assert_eq!(one_pass, many_pass, "n = {n}");
+            assert_bit_identical(&reference, &chunked);
+        }
+    }
+
+    #[test]
+    fn uniform_multi_shard_batch_folds_without_scatter() {
+        // All reports target one user (one shard) with screening mixed
+        // in: the routing pass detects uniformity itself now, and only
+        // the destination shard's epoch may advance.
+        let c = Collector::new(CollectorConfig {
+            shards: 4,
+            max_slots: 16,
+            ..CollectorConfig::default()
+        });
+        let batch = ReportBatch::from_columns(
+            vec![42; 6],
+            vec![0, 99, 1, 2, 3, 4],
+            vec![0.5, 0.5, f64::NAN, 0.25, 0.75, 0.5],
+        );
+        let out = c.ingest_outcome(&batch);
+        assert_eq!(
+            out,
+            IngestOutcome {
+                accepted: 4,
+                dropped: 1,
+                rejected: 1
+            }
+        );
+        let target = c.shard_of(42);
+        for k in 0..4 {
+            assert_eq!(c.shard_epoch(k), u64::from(k == target));
+        }
+    }
+
+    #[test]
+    fn parallel_fold_is_bit_identical_and_survives_pool_stop() {
+        let (users, slots, values) = hostile_columns(4096, 99);
+        let batch = ReportBatch::from_columns(users, slots, values);
+        let serial = Collector::new(config(4));
+        let parallel = Collector::new(CollectorConfig {
+            shards: 4,
+            ingest_workers: 2,
+            parallel_fold_min: 1,
+            ..CollectorConfig::default()
+        });
+        assert_eq!(
+            serial.ingest_outcome(&batch),
+            parallel.ingest_outcome(&batch)
+        );
+        assert_bit_identical(&serial, &parallel);
+        // Stopping the pool mid-life loses nothing; later batches fold
+        // inline and still land.
+        parallel.stop_ingest_pool();
+        assert_eq!(
+            serial.ingest_outcome(&batch),
+            parallel.ingest_outcome(&batch)
+        );
+        assert_bit_identical(&serial, &parallel);
+        let snap = parallel.telemetry().snapshot();
+        assert!(snap.counter("collector.pool.runs").unwrap_or(0) >= 2);
     }
 
     #[test]

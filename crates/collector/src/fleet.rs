@@ -35,6 +35,13 @@ pub struct FleetConfig {
     /// same cached number collector shard defaults and server sizing
     /// consult, so fleet, engine, and service agree on the machine size.
     /// Thread count never changes published values, only scheduling.
+    ///
+    /// This is *client-side* parallelism: each worker uploads its own
+    /// users' single-user batches, which take the collector's uniform
+    /// (one-shard, no-scatter) fold path. The collector-side counterpart
+    /// for few hot connections carrying big mixed batches is
+    /// [`crate::CollectorConfig::ingest_workers`] — the work-stealing
+    /// parallel shard fold.
     pub threads: usize,
 }
 

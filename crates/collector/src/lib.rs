@@ -24,7 +24,11 @@
 //! * [`Collector`] — routes each report to a shard keyed by user id; each
 //!   shard keeps per-slot count/sum/sum-of-squares plus per-user running
 //!   sums, so ingestion is O(1) per report and shards only contend on
-//!   their own mutex.
+//!   their own mutex. Large multi-shard batches fold their per-shard runs
+//!   through an in-tree work-stealing pool
+//!   ([`CollectorConfig::ingest_workers`], `LDP_INGEST_WORKERS`), so one
+//!   hot connection saturates every core — with results bit-identical to
+//!   a serial fold.
 //! * [`CollectorSnapshot`] — a merged, immutable view answering the
 //!   queries the paper's evaluation asks: per-slot mean estimates,
 //!   windowed subsequence means, and the population distribution of
@@ -75,12 +79,16 @@
 pub mod accumulator;
 pub mod engine;
 pub mod fleet;
+mod pool;
 pub mod query;
 pub mod report;
 pub mod snapshot;
 
 pub use accumulator::{ShardAccumulator, SlotRetention, SlotStats, UserStats};
-pub use engine::{default_parallelism, Collector, CollectorConfig, IngestOutcome};
+pub use engine::{
+    default_ingest_workers, default_parallelism, Collector, CollectorConfig, IngestOutcome,
+    DEFAULT_PARALLEL_FOLD_MIN,
+};
 pub use fleet::{
     user_seed, ClientFleet, CollectorSink, FleetConfig, FleetError, QueryLoadReport, ReportSink,
     ReseedingSession,

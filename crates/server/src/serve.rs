@@ -4,8 +4,11 @@
 //! ```text
 //!                    ┌────────────────────────── Server ──────────────┐
 //! RemoteCollector ──▶│ conn thread ─ frames ─▶ Collector::ingest      │
-//! RemoteCollector ──▶│ conn thread ─ frames ─▶     │  (sharded)       │
-//!      …             │      …                      ▼                  │
+//! RemoteCollector ──▶│ conn thread ─ frames ─▶     │  (sharded;       │
+//!      …             │      …                      │   big batches    │
+//!                    │                             ▼   fan out)       │
+//!                    │                  work-stealing ingest pool     │
+//!                    │                             │                  │
 //! RemoteCollector ──▶│ conn thread ─ query ─▶ QueryEngine/LiveView    │
 //!                    │ accept thread │ refresher thread (paced)       │
 //!                    └────────────────────────────────────────────────┘
@@ -17,6 +20,14 @@
 //!   frames are fire-and-forget; TCP flow control *is* the backpressure:
 //!   a slow server simply stops draining its receive buffers and the
 //!   client's `write` blocks.
+//! * Every connection shares one work-stealing fold pool: it lives
+//!   inside the shared `Arc<Collector>`
+//!   ([`ldp_collector::CollectorConfig::ingest_workers`]), so a single
+//!   hot connection's large batches fan their per-shard fold runs across
+//!   every core, while the per-batch `IngestOutcome` ledger — and
+//!   therefore the IngestSync/Ack barrier — is computed exactly as in a
+//!   serial fold (the connection thread participates until its batch
+//!   completes).
 //! * Queries are answered from the epoch-delta [`QueryEngine`]: each
 //!   query refreshes (bounded by the change set since the last refresh —
 //!   an O(shards) no-op when nothing changed) and reads the immutable

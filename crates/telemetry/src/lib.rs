@@ -34,6 +34,23 @@
 //!   snapshot's total count is *derived from its buckets*, so bucket sum
 //!   and count can never disagree (no torn two-counter reads).
 //!
+//! # Conventions
+//!
+//! Metric names are dotted paths, `<subsystem>.<object>.<signal>`, and
+//! the metric kind follows the signal's shape: monotone event totals are
+//! [`Counter`]s, instantaneous levels are [`Gauge`]s, and per-event
+//! durations/sizes are [`Histogram`]s. The collector's work-stealing
+//! fold pool is the worked example: `collector.pool.runs` and
+//! `collector.pool.steals` are counters (their *ratio* is the steal
+//! rate), `collector.pool.queue_depth` and
+//! `collector.pool.workers_busy` are gauges (they must read zero at
+//! rest — a leak in either is a lost-run bug), and
+//! `collector.ingest.fold_parallel_nanos` is a histogram whose tail is
+//! compared against `collector.ingest.fold_nanos` to see what
+//! parallelism bought. Because handles are get-or-create by name, a
+//! subsystem registering "its" metric twice (engine + pool, say) shares
+//! one atomic rather than splitting the signal.
+//!
 //! # Quickstart
 //!
 //! ```

@@ -7,8 +7,11 @@
 //! the hand-picked stats frame cannot carry — latency *distributions*
 //! (p50/p90/p99 of the collector's fold and the server's frame decode),
 //! per-shard batch counts (ingest imbalance), and transport byte rates.
-//! After the run it dumps the whole metric catalog, so the output doubles
-//! as a reference for what the registry exports.
+//! A final hot-connection burst of large mixed batches engages the
+//! work-stealing fold pool, so the `collector.pool.*` metrics and the
+//! `fold_parallel_nanos` histogram show up live too. After the run it
+//! dumps the whole metric catalog, so the output doubles as a reference
+//! for what the registry exports.
 //!
 //! Run: `cargo run --release -p ldp-examples --bin telemetry_dashboard`
 
@@ -28,6 +31,12 @@ fn main() {
 
     let collector = Arc::new(Collector::new(CollectorConfig {
         retention: SlotRetention::Last(retain),
+        // At least one stealing worker and several shards even on a
+        // small machine, and a threshold the burst below clears, so the
+        // demo always exercises the parallel fold path.
+        shards: ldp_collector::default_parallelism().clamp(4, 16),
+        ingest_workers: ldp_collector::default_ingest_workers().max(1),
+        parallel_fold_min: 8_192,
         ..CollectorConfig::default()
     }));
     let server =
@@ -78,12 +87,55 @@ fn main() {
     });
 
     let elapsed = start.elapsed();
-    let mut dash = RemoteCollector::connect(server.local_addr()).expect("dashboard connect");
-    let snap = dash.metrics().expect("final metrics query");
     println!(
         "\n{uploaded} reports in {elapsed:.2?} ({:.1}M reports/s) through the wire path",
         uploaded as f64 / elapsed.as_secs_f64() / 1e6,
     );
+
+    // Fleet uploads are single-user batches (uniform, one-shard folds);
+    // a hot connection carrying large *mixed* batches is what the
+    // work-stealing pool is for. Burst a few through so the pool metrics
+    // below are live numbers, not zeros.
+    let mut hot = RemoteCollector::connect(server.local_addr()).expect("hot connect");
+    let mut state = 0x0123_4567_89AB_CDEFu64;
+    for _ in 0..16 {
+        let mut batch = ldp_collector::ReportBatch::with_capacity(16_384);
+        for i in 0..16_384u64 {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            batch.push(
+                state >> 40,
+                i % retain,
+                ((state >> 11) % 4096) as f64 / 4096.0,
+            );
+        }
+        hot.ingest(&batch).expect("hot ingest");
+    }
+    let burst = hot.sync().expect("hot sync");
+
+    let mut dash = RemoteCollector::connect(server.local_addr()).expect("dashboard connect");
+    let snap = dash.metrics().expect("final metrics query");
+    let pool_runs = snap.counter("collector.pool.runs").unwrap_or(0);
+    let steals = snap.counter("collector.pool.steals").unwrap_or(0);
+    let steal_rate = if pool_runs > 0 {
+        100.0 * steals as f64 / pool_runs as f64
+    } else {
+        0.0
+    };
+    println!(
+        "\nwork-stealing fold pool (hot-connection burst of {} mixed reports):",
+        burst.accepted
+    );
+    println!(
+        "  runs dispatched {pool_runs}, stolen {steals} ({steal_rate:.0}%); \
+         queue depth now {}, busy workers now {}",
+        snap.gauge("collector.pool.queue_depth").unwrap_or(0),
+        snap.gauge("collector.pool.workers_busy").unwrap_or(0),
+    );
+    if let Some(h) = snap.histogram("collector.ingest.fold_parallel_nanos") {
+        println!("  parallel fold {}", quantiles(h));
+    }
 
     println!("\nfull metric catalog ({} metrics):", snap.entries.len());
     for entry in &snap.entries {

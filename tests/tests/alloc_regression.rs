@@ -192,6 +192,63 @@ fn steady_state_ingest_path_performs_zero_allocations() {
 }
 
 #[test]
+fn parallel_fold_steady_state_performs_zero_allocations() {
+    // Pool enabled and engaged: the batch clears `parallel_fold_min`, so
+    // every measured frame dispatches its runs through the work-stealing
+    // injector. Run descriptors live on the submitter's stack, the
+    // injector is a pre-allocated bounded ring, and the completion wait
+    // is park/unpark — none of which may touch the heap. (The counter is
+    // thread-local, so worker threads could not hide an allocation of
+    // ours; the submitter path is what this pins.)
+    let collector = Collector::new(CollectorConfig {
+        shards: 4,
+        ingest_workers: 2,
+        parallel_fold_min: 1024,
+        ..CollectorConfig::default()
+    });
+    let batch = steady_batch(8192, 512, 64, 11);
+    let mut frame_buf = Vec::new();
+    let mut scratch = IngestScratch::default();
+    let telemetry = WireTelemetry::register(&collector);
+
+    // Warmup additionally spawns the pool (lazily, on the first
+    // qualifying batch) and lets every worker reach its steady loop.
+    for _ in 0..8 {
+        assert_eq!(
+            run_frame(&batch, &mut frame_buf, &mut scratch, &collector, &telemetry),
+            batch.len() as u64
+        );
+    }
+
+    let before = allocation_events();
+    let mut accepted = 0u64;
+    for _ in 0..32 {
+        accepted += run_frame(&batch, &mut frame_buf, &mut scratch, &collector, &telemetry);
+    }
+    let after = allocation_events();
+
+    assert_eq!(accepted, 32 * batch.len() as u64, "every report folded");
+    assert_eq!(
+        after - before,
+        0,
+        "parallel dispatch — enqueue, participate, park/unpark — must not \
+         touch the heap"
+    );
+
+    // Prove the parallel path actually ran for all 40 frames: 4 runs per
+    // frame through the injector, one parallel-fold sample each.
+    let snap = collector.telemetry().snapshot();
+    assert_eq!(snap.counter("collector.pool.runs"), Some(160));
+    assert_eq!(
+        snap.histogram("collector.ingest.fold_parallel_nanos")
+            .unwrap()
+            .count(),
+        40
+    );
+    assert_eq!(snap.gauge("collector.pool.queue_depth"), Some(0));
+}
+
+#[test]
 fn single_shard_fast_path_is_also_allocation_free() {
     let collector = Collector::new(CollectorConfig {
         shards: 1,
