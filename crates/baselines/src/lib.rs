@@ -12,6 +12,8 @@
 //! * [`NaiveSampling`] — segment-mean sampling *without* perturbation
 //!   parameterization (the "Sampling" arm of Figures 6–8).
 
+#![forbid(unsafe_code)]
+
 pub mod ba_sw;
 pub mod naive_sampling;
 pub mod sw_direct;

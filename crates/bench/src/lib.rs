@@ -10,6 +10,8 @@
 //!   `ldp-experiments` and print the rows/series. Scale them with
 //!   `LDP_TRIALS` / `LDP_QUICK=1`.
 
+#![forbid(unsafe_code)]
+
 /// Runs one artifact by name and prints it; shared by the artifact benches.
 pub fn run_artifact(name: &str) {
     let cfg = ldp_experiments::ExperimentConfig::from_env();

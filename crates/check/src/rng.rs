@@ -1,0 +1,81 @@
+//! Minimal PCG32 generator for scheduling decisions.
+//!
+//! The checker cannot depend on the workspace `rand` shim (that would invert
+//! the dependency direction for crates that want to be checked), so it carries
+//! its own tiny PCG32. Determinism across runs of the same binary is all that
+//! matters here; statistical quality requirements are modest.
+
+/// PCG-XSH-RR 64/32 (Melissa O'Neill's pcg32).
+#[derive(Clone, Debug)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6364136223846793005;
+
+impl Pcg32 {
+    pub fn new(seed: u64, stream: u64) -> Self {
+        let mut rng = Pcg32 {
+            state: 0,
+            inc: (stream << 1) | 1,
+        };
+        rng.next_u32();
+        rng.state = rng.state.wrapping_add(seed);
+        rng.next_u32();
+        rng
+    }
+
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
+    }
+
+    /// Uniform sample in `[0, bound)`. `bound` must be non-zero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        // Multiply-shift bounded sampling; bias is negligible for the small
+        // bounds (thread counts) the scheduler uses.
+        let b = bound as u64;
+        ((u64::from(self.next_u32()) * b) >> 32) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = Pcg32::new(42, 7);
+        let mut b = Pcg32::new(42, 7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn seeds_diverge() {
+        let mut a = Pcg32::new(1, 7);
+        let mut b = Pcg32::new(2, 7);
+        let same = (0..32).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4, "different seeds should produce different streams");
+    }
+
+    #[test]
+    fn below_in_range() {
+        let mut rng = Pcg32::new(9, 3);
+        for bound in 1..17usize {
+            for _ in 0..64 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+    }
+}

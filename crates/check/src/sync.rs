@@ -1,0 +1,742 @@
+//! Instrumented drop-in replacements for `std::sync` / `std::thread`.
+//!
+//! Each type wraps the real `std` primitive. Data protection always comes
+//! from the underlying `std` lock; the scheduler layer only adds blocking
+//! choreography (who may acquire when), so there is no `unsafe` anywhere in
+//! the checker. When a thread has no checker context (it was not spawned
+//! under [`crate::explore`]), every operation falls back to plain `std`
+//! behavior, which lets these types compile and run unconditionally.
+//!
+//! Poisoning: lock methods keep the `LockResult` signature for call-site
+//! parity (`.lock().expect(..)`), but always return `Ok`, recovering the
+//! guard from a poisoned `std` lock. The checker surfaces panics through its
+//! own failure protocol, so poison propagation adds nothing here.
+
+use crate::sched::{Aborted, Execution};
+use std::any::Any;
+use std::cell::RefCell;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc as StdArc;
+
+pub use std::sync::{Arc, LockResult, PoisonError, TryLockError, TryLockResult};
+
+thread_local! {
+    static CTX: RefCell<Option<(StdArc<Execution>, u32)>> = const { RefCell::new(None) };
+}
+
+fn ctx() -> Option<(StdArc<Execution>, u32)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// Scheduling point before an instrumented operation; a no-op for unchecked
+/// threads and during unwinding (a panicking thread must not hand off the
+/// token before the failure protocol records the panic).
+fn maybe_yield() {
+    if std::thread::panicking() {
+        return;
+    }
+    if let Some((exec, me)) = ctx() {
+        exec.yield_point(me);
+    }
+}
+
+fn addr_of<T>(r: &T) -> usize {
+    std::ptr::from_ref(r) as *const () as usize
+}
+
+fn payload_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Spawn an OS thread registered with `exec`. Used both for the root test
+/// body (tid 0) and for `thread::spawn` calls made by checked threads.
+pub(crate) fn spawn_checked<F, T>(
+    exec: &StdArc<Execution>,
+    name: Option<String>,
+    f: F,
+) -> std::io::Result<(std::thread::JoinHandle<T>, u32)>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let tid = exec.register_thread(name.clone());
+    let exec2 = StdArc::clone(exec);
+    let mut builder = std::thread::Builder::new();
+    if let Some(n) = &name {
+        builder = builder.name(n.clone());
+    }
+    let spawned = builder.spawn(move || {
+        CTX.with(|c| *c.borrow_mut() = Some((StdArc::clone(&exec2), tid)));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            exec2.wait_for_token(tid);
+            f()
+        }));
+        match result {
+            Ok(v) => {
+                exec2.finish(tid, None);
+                v
+            }
+            Err(payload) => {
+                let message = if payload.is::<Aborted>() {
+                    None
+                } else {
+                    Some(payload_message(payload.as_ref()))
+                };
+                exec2.finish(tid, message);
+                resume_unwind(payload)
+            }
+        }
+    });
+    match spawned {
+        Ok(handle) => Ok((handle, tid)),
+        Err(e) => {
+            // The tid was registered but will never run; retire it so the
+            // controller's live count still drains.
+            exec.finish(tid, None);
+            Err(e)
+        }
+    }
+}
+
+// ====================================================================
+// Mutex
+// ====================================================================
+
+/// Checker-aware `Mutex`.
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let sched = ctx();
+        if let Some((exec, me)) = &sched {
+            exec.acquire_mutex(*me, addr_of(self));
+        }
+        // With the scheduler's grant this never contends; without a checker
+        // context it is a plain std lock.
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        Ok(MutexGuard {
+            lock: self,
+            inner: Some(inner),
+            sched,
+        })
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        Ok(self.inner.into_inner().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        Ok(self.inner.get_mut().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&self.inner, f)
+    }
+}
+
+/// RAII guard for [`Mutex`].
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    sched: Option<(StdArc<Execution>, u32)>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard disarmed")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard disarmed")
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Order matters: drop the real std guard FIRST, then tell the
+        // scheduler the lock is free. The reverse would let a woken thread
+        // block on the std mutex while we still hold the token.
+        drop(self.inner.take());
+        if let Some((exec, me)) = self.sched.take() {
+            exec.release_mutex(me, addr_of(self.lock), std::thread::panicking());
+        }
+    }
+}
+
+// ====================================================================
+// Condvar
+// ====================================================================
+
+/// Checker-aware `Condvar`. Works only with the facade [`Mutex`].
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let lock = guard.lock;
+        match guard.sched.take() {
+            Some((exec, me)) => {
+                // Disarm the guard (drop the std lock, suppress its Drop
+                // bookkeeping), then atomically release + block + re-acquire
+                // at the scheduler level, then retake the std lock.
+                drop(guard.inner.take());
+                drop(guard);
+                exec.condvar_wait(me, addr_of(self), addr_of(lock));
+                let inner = lock.inner.lock().unwrap_or_else(|e| e.into_inner());
+                Ok(MutexGuard {
+                    lock,
+                    inner: Some(inner),
+                    sched: Some((exec, me)),
+                })
+            }
+            None => {
+                let inner = guard.inner.take().expect("guard disarmed");
+                drop(guard);
+                let inner = self.inner.wait(inner).unwrap_or_else(|e| e.into_inner());
+                Ok(MutexGuard {
+                    lock,
+                    inner: Some(inner),
+                    sched: None,
+                })
+            }
+        }
+    }
+
+    pub fn notify_one(&self) {
+        if let Some((exec, me)) = ctx() {
+            exec.notify_one(me, addr_of(self));
+        }
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        if let Some((exec, me)) = ctx() {
+            exec.notify_all_waiters(me, addr_of(self));
+        }
+        self.inner.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Condvar")
+    }
+}
+
+// ====================================================================
+// RwLock
+// ====================================================================
+
+/// Checker-aware `RwLock`.
+pub struct RwLock<T> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        let sched = ctx();
+        if let Some((exec, me)) = &sched {
+            exec.acquire_read(*me, addr_of(self));
+        }
+        let inner = self.inner.read().unwrap_or_else(|e| e.into_inner());
+        Ok(RwLockReadGuard {
+            lock: self,
+            inner: Some(inner),
+            sched,
+        })
+    }
+
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        let sched = ctx();
+        if let Some((exec, me)) = &sched {
+            exec.acquire_write(*me, addr_of(self));
+        }
+        let inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        Ok(RwLockWriteGuard {
+            lock: self,
+            inner: Some(inner),
+            sched,
+        })
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        Ok(self.inner.into_inner().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&self.inner, f)
+    }
+}
+
+/// Shared-read guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+    sched: Option<(StdArc<Execution>, u32)>,
+}
+
+impl<T> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard disarmed")
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        if let Some((exec, me)) = self.sched.take() {
+            exec.release_read(me, addr_of(self.lock), std::thread::panicking());
+        }
+    }
+}
+
+/// Exclusive-write guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    sched: Option<(StdArc<Execution>, u32)>,
+}
+
+impl<T> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard disarmed")
+    }
+}
+
+impl<T> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard disarmed")
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        if let Some((exec, me)) = self.sched.take() {
+            exec.release_write(me, addr_of(self.lock), std::thread::panicking());
+        }
+    }
+}
+
+// ====================================================================
+// OnceLock
+// ====================================================================
+
+/// Checker-aware `OnceLock`: a scheduler-aware gate around the std cell so a
+/// checked thread never blocks inside `std::sync::OnceLock` initialization
+/// while holding the scheduler token.
+pub struct OnceLock<T> {
+    gate: Mutex<()>,
+    inner: std::sync::OnceLock<T>,
+}
+
+impl<T> OnceLock<T> {
+    pub const fn new() -> Self {
+        OnceLock {
+            gate: Mutex::new(()),
+            inner: std::sync::OnceLock::new(),
+        }
+    }
+
+    pub fn get(&self) -> Option<&T> {
+        self.inner.get()
+    }
+
+    pub fn get_or_init<F: FnOnce() -> T>(&self, f: F) -> &T {
+        if let Some(v) = self.inner.get() {
+            return v;
+        }
+        let _gate = self.gate.lock();
+        self.inner.get_or_init(f)
+    }
+
+    pub fn set(&self, value: T) -> Result<(), T> {
+        let _gate = self.gate.lock();
+        self.inner.set(value)
+    }
+
+    pub fn take(&mut self) -> Option<T> {
+        self.inner.take()
+    }
+}
+
+impl<T> Default for OnceLock<T> {
+    fn default() -> Self {
+        OnceLock::new()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for OnceLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("OnceLock").field(&self.inner.get()).finish()
+    }
+}
+
+// ====================================================================
+// Atomics
+// ====================================================================
+
+pub mod atomic {
+    //! Checker-aware atomics: every operation is a scheduling point, so the
+    //! explorer can interleave threads between any two atomic accesses.
+    //! Memory model is sequential consistency — the checker serializes
+    //! threads, so weak-ordering bugs are out of scope (documented limit).
+
+    use super::maybe_yield;
+    pub use std::sync::atomic::Ordering;
+
+    macro_rules! atomic_int {
+        ($name:ident, $std:ty, $int:ty) => {
+            /// Checker-aware atomic integer.
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: $std,
+            }
+
+            impl $name {
+                pub const fn new(v: $int) -> Self {
+                    $name {
+                        inner: <$std>::new(v),
+                    }
+                }
+
+                pub fn load(&self, order: Ordering) -> $int {
+                    maybe_yield();
+                    self.inner.load(order)
+                }
+
+                pub fn store(&self, v: $int, order: Ordering) {
+                    maybe_yield();
+                    self.inner.store(v, order);
+                }
+
+                pub fn swap(&self, v: $int, order: Ordering) -> $int {
+                    maybe_yield();
+                    self.inner.swap(v, order)
+                }
+
+                pub fn fetch_add(&self, v: $int, order: Ordering) -> $int {
+                    maybe_yield();
+                    self.inner.fetch_add(v, order)
+                }
+
+                pub fn fetch_sub(&self, v: $int, order: Ordering) -> $int {
+                    maybe_yield();
+                    self.inner.fetch_sub(v, order)
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    current: $int,
+                    new: $int,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$int, $int> {
+                    maybe_yield();
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+            }
+        };
+    }
+
+    atomic_int!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    atomic_int!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+    /// Checker-aware atomic bool.
+    #[derive(Debug, Default)]
+    pub struct AtomicBool {
+        inner: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        pub const fn new(v: bool) -> Self {
+            AtomicBool {
+                inner: std::sync::atomic::AtomicBool::new(v),
+            }
+        }
+
+        pub fn load(&self, order: Ordering) -> bool {
+            maybe_yield();
+            self.inner.load(order)
+        }
+
+        pub fn store(&self, v: bool, order: Ordering) {
+            maybe_yield();
+            self.inner.store(v, order);
+        }
+
+        pub fn swap(&self, v: bool, order: Ordering) -> bool {
+            maybe_yield();
+            self.inner.swap(v, order)
+        }
+    }
+}
+
+// ====================================================================
+// thread
+// ====================================================================
+
+pub mod thread {
+    //! Checker-aware `std::thread` subset: spawn/join, park/unpark, sleep.
+
+    use super::{ctx, spawn_checked, Execution};
+    use std::fmt;
+    use std::sync::Arc as StdArc;
+    use std::time::Duration;
+
+    pub use std::thread::Result;
+
+    /// Handle to a spawned thread; mirrors `std::thread::JoinHandle`.
+    pub struct JoinHandle<T> {
+        os: std::thread::JoinHandle<T>,
+        checked: Option<(StdArc<Execution>, u32)>,
+    }
+
+    impl<T> JoinHandle<T> {
+        pub fn join(self) -> Result<T> {
+            if let Some((exec, tid)) = &self.checked {
+                if let Some((caller_exec, me)) = ctx() {
+                    if StdArc::ptr_eq(exec, &caller_exec) {
+                        exec.join_wait(me, *tid);
+                    }
+                }
+            }
+            // Scheduler already saw the target finish (or the caller is
+            // unchecked); the OS join completes promptly.
+            self.os.join()
+        }
+
+        pub fn is_finished(&self) -> bool {
+            self.os.is_finished()
+        }
+
+        pub fn thread(&self) -> Thread {
+            match &self.checked {
+                Some((exec, tid)) => Thread {
+                    inner: ThreadInner::Checked {
+                        exec: StdArc::clone(exec),
+                        tid: *tid,
+                    },
+                    os: self.os.thread().clone(),
+                },
+                None => Thread {
+                    inner: ThreadInner::Std,
+                    os: self.os.thread().clone(),
+                },
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for JoinHandle<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("JoinHandle")
+        }
+    }
+
+    #[derive(Clone)]
+    enum ThreadInner {
+        Std,
+        Checked { exec: StdArc<Execution>, tid: u32 },
+    }
+
+    /// Mirrors `std::thread::Thread`: a handle usable for `unpark`.
+    #[derive(Clone)]
+    pub struct Thread {
+        inner: ThreadInner,
+        os: std::thread::Thread,
+    }
+
+    impl Thread {
+        pub fn unpark(&self) {
+            match &self.inner {
+                ThreadInner::Std => self.os.unpark(),
+                ThreadInner::Checked { exec, tid } => {
+                    let me = ctx().and_then(|(caller_exec, me)| {
+                        StdArc::ptr_eq(exec, &caller_exec).then_some(me)
+                    });
+                    exec.unpark(me, *tid);
+                }
+            }
+        }
+
+        pub fn name(&self) -> Option<&str> {
+            self.os.name()
+        }
+    }
+
+    impl fmt::Debug for Thread {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("Thread")
+                .field("name", &self.name())
+                .finish()
+        }
+    }
+
+    /// Handle to the calling thread.
+    pub fn current() -> Thread {
+        match ctx() {
+            Some((exec, tid)) => Thread {
+                inner: ThreadInner::Checked { exec, tid },
+                os: std::thread::current(),
+            },
+            None => Thread {
+                inner: ThreadInner::Std,
+                os: std::thread::current(),
+            },
+        }
+    }
+
+    /// Mirrors `std::thread::Builder` (name only; stack size is irrelevant
+    /// to the checked subset).
+    #[derive(Debug, Default)]
+    pub struct Builder {
+        name: Option<String>,
+    }
+
+    impl Builder {
+        pub fn new() -> Self {
+            Builder { name: None }
+        }
+
+        #[must_use]
+        pub fn name(mut self, name: String) -> Self {
+            self.name = Some(name);
+            self
+        }
+
+        pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+        where
+            F: FnOnce() -> T + Send + 'static,
+            T: Send + 'static,
+        {
+            match ctx() {
+                Some((exec, me)) => {
+                    let (os, tid) = spawn_checked(&exec, self.name, f)?;
+                    // Scheduling point: the freshly spawned thread may run
+                    // before the spawner's next instruction.
+                    exec.yield_point(me);
+                    Ok(JoinHandle {
+                        os,
+                        checked: Some((exec, tid)),
+                    })
+                }
+                None => {
+                    let mut builder = std::thread::Builder::new();
+                    if let Some(n) = self.name {
+                        builder = builder.name(n);
+                    }
+                    Ok(JoinHandle {
+                        os: builder.spawn(f)?,
+                        checked: None,
+                    })
+                }
+            }
+        }
+    }
+
+    /// Mirrors `std::thread::spawn`.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        Builder::new().spawn(f).expect("failed to spawn thread")
+    }
+
+    /// Mirrors `std::thread::park`.
+    pub fn park() {
+        match ctx() {
+            Some((exec, me)) => exec.park(me, false),
+            None => std::thread::park(),
+        }
+    }
+
+    /// Mirrors `std::thread::park_timeout`. Under the checker the timeout
+    /// "fires" only when no other thread is runnable, which avoids livelock
+    /// in belt-and-braces park loops while still exercising both wakeup
+    /// paths.
+    pub fn park_timeout(dur: Duration) {
+        match ctx() {
+            Some((exec, me)) => exec.park(me, true),
+            None => std::thread::park_timeout(dur),
+        }
+    }
+
+    /// Under the checker, sleeping is just a scheduling point.
+    pub fn sleep(dur: Duration) {
+        match ctx() {
+            Some((exec, me)) => exec.yield_point(me),
+            None => std::thread::sleep(dur),
+        }
+    }
+
+    /// Mirrors `std::thread::yield_now`; an explicit scheduling point.
+    pub fn yield_now() {
+        match ctx() {
+            Some((exec, me)) => exec.yield_point(me),
+            None => std::thread::yield_now(),
+        }
+    }
+}

@@ -4,10 +4,10 @@ use crate::accumulator::{ShardAccumulator, SlotRetention};
 use crate::pool::IngestPool;
 use crate::report::AsReportColumns;
 use crate::snapshot::CollectorSnapshot;
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use ldp_telemetry::{Counter, Histogram, Registry};
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 /// Default bound on the dense slot range (see [`CollectorConfig::max_slots`]).
 pub const DEFAULT_MAX_SLOTS: u64 = 1 << 20;

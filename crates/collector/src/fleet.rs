@@ -10,6 +10,8 @@
 use crate::engine::Collector;
 use crate::query::QueryEngine;
 use crate::report::ReportBatch;
+use crate::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::thread;
 use ldp_core::online::{OnlineSession, PipelineSpec};
 use ldp_core::StreamMechanism;
 use ldp_streams::{Population, Stream};
@@ -17,7 +19,6 @@ use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use std::cell::Cell;
 use std::ops::Range;
-use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Fleet configuration.
 #[derive(Debug, Clone, Copy)]
@@ -312,7 +313,7 @@ impl ClientFleet {
                         if done.load(Ordering::Acquire) {
                             break;
                         }
-                        std::thread::sleep(QUERY_PACING);
+                        thread::sleep(QUERY_PACING);
                     }
                     (queries, refreshes)
                 })

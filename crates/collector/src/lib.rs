@@ -83,6 +83,7 @@ mod pool;
 pub mod query;
 pub mod report;
 pub mod snapshot;
+pub mod sync;
 
 pub use accumulator::{ShardAccumulator, SlotRetention, SlotStats, UserStats};
 pub use engine::{

@@ -34,7 +34,10 @@
 //!
 //! Everything here is std-only (`Mutex` + `Condvar` injector,
 //! `park_timeout` completion wait) — same discipline as `crates/shims`:
-//! no registry dependencies.
+//! no registry dependencies. Sync primitives come from [`crate::sync`],
+//! the facade that swaps in `ldp-check`'s instrumented types under
+//! `cfg(ldp_check)` so schedule-exploration tests can drive this pool
+//! through systematically varied interleavings.
 //!
 //! # Safety
 //!
@@ -47,11 +50,11 @@
 //! submitter on injector overflow — never both).
 
 use crate::engine::Collector;
+use crate::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use crate::sync::thread::{self, JoinHandle, Thread};
+use crate::sync::{Arc, Condvar, Mutex};
 use ldp_telemetry::{Counter, Gauge, Registry};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::{JoinHandle, Thread};
 use std::time::Duration;
 
 /// Capacity of the bounded injector. The queue `VecDeque` is allocated
@@ -80,6 +83,9 @@ struct BatchControl {
     rows: usize,
     /// The batch's scattered index runs (`ShardScratch::idx`).
     idx: *const u32,
+    /// Length of the `idx` slice (may be shorter than `rows` when the
+    /// routing pass skipped rejected reports).
+    idx_len: usize,
     /// Runs of this batch not yet folded; the submitter returns when
     /// this drains to zero.
     pending: AtomicUsize,
@@ -96,9 +102,25 @@ struct RunDesc {
     len: u32,
 }
 
-// SAFETY: the pointers target the submitter's stack frame and borrowed
-// columns, which outlive the descriptor (fold_batch blocks until the
-// batch's `pending` counter drains before any of them go away).
+// SAFETY: sending a `RunDesc` across threads is sound because of three
+// invariants, all upheld by `IngestPool::fold_batch`:
+//
+// 1. **Liveness** — every pointer targets either the submitter's stack
+//    frame (`control`) or slices borrowed for the whole `fold_batch`
+//    call (`users`/`slots`/`values`/`idx` inside `BatchControl`). The
+//    submitter does not return from `fold_batch` until the batch's
+//    `pending` counter drains to zero, and a descriptor is unreachable
+//    after its `fold` decrements that counter — so no thread can touch
+//    the pointers after the frame is gone.
+// 2. **Exclusivity** — a descriptor is consumed exactly once: it is
+//    either pushed into the injector (popped by exactly one thread,
+//    under the queue mutex) or folded inline by the submitter on
+//    injector overflow, never both (the push loop records the overflow
+//    suffix start while still holding the queue lock).
+// 3. **Disjointness** — runs for different shards fold into different
+//    `Mutex<ShardAccumulator>`s, and two runs of the same shard from
+//    different batches serialize on that shard mutex, so concurrent
+//    folds never alias mutable accumulator state.
 unsafe impl Send for RunDesc {}
 
 impl RunDesc {
@@ -111,19 +133,50 @@ impl RunDesc {
     /// submitter that owns the control block is still inside
     /// `fold_batch` until `pending` drains.
     unsafe fn fold(self) {
-        let control = &*self.control;
-        let collector = &*control.collector;
-        let users = std::slice::from_raw_parts(control.users, control.rows);
-        let slots = std::slice::from_raw_parts(control.slots, control.rows);
-        let values = std::slice::from_raw_parts(control.values, control.rows);
-        let run =
-            std::slice::from_raw_parts(control.idx.add(self.start as usize), self.len as usize);
+        // SAFETY: caller contract — the control block (and through it the
+        // collector and column slices) outlives this call; lengths are the
+        // ones captured from the original borrows in `fold_batch`.
+        let (collector, users, slots, values, run) = unsafe {
+            let control = &*self.control;
+            debug_assert!(
+                self.start as usize + self.len as usize <= control.idx_len,
+                "run [{}, {}) escapes the routed index block of {} entries",
+                self.start,
+                self.start as usize + self.len as usize,
+                control.idx_len,
+            );
+            (
+                &*control.collector,
+                std::slice::from_raw_parts(control.users, control.rows),
+                std::slice::from_raw_parts(control.slots, control.rows),
+                std::slice::from_raw_parts(control.values, control.rows),
+                std::slice::from_raw_parts(control.idx.add(self.start as usize), self.len as usize),
+            )
+        };
+        // The routing scatter writes each shard's indices in ascending
+        // row order; fold_run relies on that for deterministic,
+        // bit-identical accumulation.
+        debug_assert!(
+            run.windows(2).all(|w| w[0] < w[1]),
+            "shard {} run is not in ascending index order",
+            self.shard
+        );
         collector.fold_run(self.shard as usize, users, slots, values, run);
+        // SAFETY: the control block is still live here — `pending` has
+        // not yet been decremented for this run, so the submitter is
+        // still blocked inside `fold_batch`.
+        let control = unsafe { &*self.control };
         // Clone the submitter handle BEFORE releasing the count: the
         // moment `pending` hits zero the submitter may return and the
         // control block behind `self.control` ceases to exist.
         let submitter = control.submitter.clone();
-        if control.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+        let prev = control.pending.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(
+            prev >= 1,
+            "batch completion counter underflow: shard {} run folded twice",
+            self.shard
+        );
+        if prev == 1 {
             submitter.unpark();
         }
     }
@@ -198,7 +251,7 @@ impl IngestPool {
         let handles = (0..workers)
             .map(|k| {
                 let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
+                thread::Builder::new()
                     .name(format!("ldp-ingest-{k:02}"))
                     .spawn(move || worker_loop(&shared))
                     .expect("spawn ingest pool worker")
@@ -254,8 +307,9 @@ impl IngestPool {
             values: values.as_ptr(),
             rows: users.len(),
             idx: idx.as_ptr(),
+            idx_len: idx.len(),
             pending: AtomicUsize::new(non_empty),
-            submitter: std::thread::current(),
+            submitter: thread::current(),
         };
         let control_ptr: *const BatchControl = &control;
         self.shared.metrics.runs.add(non_empty as u64);
@@ -297,7 +351,8 @@ impl IngestPool {
                 continue;
             }
             collector.fold_run(s, users, slots, values, &idx[lo..hi]);
-            control.pending.fetch_sub(1, Ordering::AcqRel);
+            let prev = control.pending.fetch_sub(1, Ordering::AcqRel);
+            debug_assert!(prev >= 1, "overflow fold underflowed the batch counter");
         }
         // Participate until this batch drains: fold own runs, steal
         // other batches' runs while waiting (global progress — a parked
@@ -313,7 +368,7 @@ impl IngestPool {
                     // submitter is still inside fold_batch (module docs).
                     unsafe { desc.fold() };
                 }
-                None => std::thread::park_timeout(SUBMITTER_PARK),
+                None => thread::park_timeout(SUBMITTER_PARK),
             }
         }
     }

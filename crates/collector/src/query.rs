@@ -38,9 +38,9 @@
 use crate::accumulator::{ShardAccumulator, SlotStats};
 use crate::engine::Collector;
 use crate::snapshot::SlotTable;
+use crate::sync::{Arc, Mutex, RwLock};
 use ldp_telemetry::Histogram;
 use std::ops::{Deref, Range};
-use std::sync::{Arc, Mutex, RwLock};
 
 /// One shard's aggregate state as published at a specific epoch: the
 /// shard-side half of the engine's cache.

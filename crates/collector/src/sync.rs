@@ -1,0 +1,53 @@
+//! Sync facade: the one place this crate (and `ldp-server`) imports
+//! synchronization primitives from.
+//!
+//! In normal builds these are plain re-exports of `std::sync` /
+//! `std::thread` — type aliases with zero overhead, so the release hot path
+//! compiles to untouched std. Under `RUSTFLAGS="--cfg ldp_check"` the same
+//! names resolve to `ldp-check`'s instrumented types, which serialize
+//! threads under a deterministic cooperative scheduler so
+//! `tests/tests/schedule_exploration.rs` can systematically explore
+//! interleavings of the ingest pool, shard epochs, and the query refresher.
+//!
+//! `tools/lint_sync_facade.sh` (a CI step) fails the build if collector or
+//! server code imports `std::sync::{Mutex, RwLock, Condvar}` or
+//! `std::thread::{spawn, Builder}` directly instead of going through this
+//! module. Types with identical semantics under the checker (e.g. `Arc`)
+//! and APIs the checker does not model (`thread::scope`,
+//! `available_parallelism`) are intentionally still imported from std.
+
+#[cfg(not(ldp_check))]
+pub use std::sync::{
+    Arc, Condvar, LockResult, Mutex, MutexGuard, OnceLock, PoisonError, RwLock, RwLockReadGuard,
+    RwLockWriteGuard,
+};
+
+#[cfg(not(ldp_check))]
+pub mod atomic {
+    pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+}
+
+#[cfg(not(ldp_check))]
+pub mod thread {
+    pub use std::thread::{
+        current, park, park_timeout, sleep, spawn, yield_now, Builder, JoinHandle, Thread,
+    };
+}
+
+#[cfg(ldp_check)]
+pub use ldp_check::sync::{
+    Arc, Condvar, LockResult, Mutex, MutexGuard, OnceLock, PoisonError, RwLock, RwLockReadGuard,
+    RwLockWriteGuard,
+};
+
+#[cfg(ldp_check)]
+pub mod atomic {
+    pub use ldp_check::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+}
+
+#[cfg(ldp_check)]
+pub mod thread {
+    pub use ldp_check::sync::thread::{
+        current, park, park_timeout, sleep, spawn, yield_now, Builder, JoinHandle, Thread,
+    };
+}

@@ -61,6 +61,8 @@
 //! assert_eq!(published.len(), stream.len());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod accountant;
 pub mod app;
 pub mod backend;

@@ -16,6 +16,8 @@
 //! (the paper averages 100 runs over 50 subsequences); set `LDP_TRIALS` to
 //! override or `LDP_QUICK=1` for smoke-test sizes.
 
+#![forbid(unsafe_code)]
+
 pub mod algorithms;
 pub mod artifacts;
 pub mod config;

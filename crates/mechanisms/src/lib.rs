@@ -40,6 +40,8 @@
 //! assert!(sw.output_domain().contains(noisy));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod domain;
 pub mod error;
 pub mod hybrid;

@@ -13,6 +13,8 @@
 //! [`jsd`] and [`ks_statistic`] are provided as supplementary distribution
 //! distances, and [`Summary`] aggregates repeated trials.
 
+#![forbid(unsafe_code)]
+
 pub mod distribution;
 pub mod pointwise;
 pub mod summary;

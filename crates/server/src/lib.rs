@@ -57,6 +57,8 @@
 //! assert_eq!(client.summary().unwrap().total_reports, 20 * 16);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod serve;
 pub mod wire;

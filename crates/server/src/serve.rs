@@ -45,13 +45,13 @@ use crate::wire::{
     code, frame_type_name, Frame, FrameView, Header, IngestScratch, StatsBody, SummaryBody,
     WireError, HEADER_LEN, KNOWN_FRAME_TYPES,
 };
+use ldp_collector::sync::atomic::{AtomicBool, Ordering};
+use ldp_collector::sync::thread::{self, JoinHandle};
+use ldp_collector::sync::Arc;
 use ldp_collector::{Collector, QueryEngine};
 use ldp_telemetry::{Counter, Gauge, Histogram, Registry, TelemetrySnapshot};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Server tuning knobs.
@@ -256,18 +256,18 @@ impl Server {
 
         let accept = {
             let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
+            thread::Builder::new()
                 .name("ldp-server-accept".into())
                 .spawn(move || accept_loop(&listener, &shared))?
         };
         let refresher = {
             let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
+            thread::Builder::new()
                 .name("ldp-server-refresh".into())
                 .spawn(move || {
                     while !shared.shutdown.load(Ordering::Acquire) {
                         shared.engine.refresh();
-                        std::thread::sleep(shared.config.refresh_interval);
+                        thread::sleep(shared.config.refresh_interval);
                     }
                 })?
         };
@@ -345,12 +345,13 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                 shared.metrics.connections_total.inc();
                 shared.metrics.connections_active.inc();
                 let conn_shared = Arc::clone(shared);
-                let handle = std::thread::Builder::new()
-                    .name("ldp-server-conn".into())
-                    .spawn(move || {
-                        handle_connection(&conn_shared, stream);
-                        conn_shared.metrics.connections_active.dec();
-                    });
+                let handle =
+                    thread::Builder::new()
+                        .name("ldp-server-conn".into())
+                        .spawn(move || {
+                            handle_connection(&conn_shared, stream);
+                            conn_shared.metrics.connections_active.dec();
+                        });
                 match handle {
                     Ok(h) => handles.push(h),
                     Err(_) => {
@@ -361,9 +362,9 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                 }
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                std::thread::sleep(shared.config.poll_interval);
+                thread::sleep(shared.config.poll_interval);
             }
-            Err(_) => std::thread::sleep(shared.config.poll_interval),
+            Err(_) => thread::sleep(shared.config.poll_interval),
         }
     }
     for h in handles {

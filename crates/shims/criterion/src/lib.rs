@@ -7,6 +7,8 @@
 //! statistics, plots, or HTML reports; good enough for relative
 //! comparisons in an environment without the real crate.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 /// Prevents the optimizer from discarding a value.

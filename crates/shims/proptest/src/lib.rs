@@ -8,6 +8,8 @@
 //! to the assertion message. That trades minimal counterexamples for a
 //! zero-dependency build, which is what this offline environment needs.
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::ops::{Range, RangeInclusive};

@@ -8,6 +8,8 @@
 //! SplitMix64 rather than ChaCha12), so seeded streams differ from
 //! upstream `rand` but are deterministic and portable across platforms.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// The core of a random number generator: raw integer output.

@@ -7,6 +7,8 @@
 //! Swap back to real serde by replacing the `[patch]`-style path deps in
 //! the workspace manifest once a registry is available.
 
+#![forbid(unsafe_code)]
+
 /// Marker trait mirroring `serde::Serialize` (no methods; nothing in this
 /// workspace serializes yet).
 pub trait Serialize {}

@@ -3,6 +3,8 @@
 //! derives exist only so `#[derive(Serialize, Deserialize)]` on config
 //! and report types keeps compiling without the real serde crates.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 /// Accepts the annotated item and emits nothing.

@@ -8,6 +8,8 @@
 //! real-world datasets of the paper's evaluation (see `DESIGN.md` §4 for
 //! the substitution rationale).
 
+#![forbid(unsafe_code)]
+
 pub mod io;
 pub mod population;
 pub mod stream;

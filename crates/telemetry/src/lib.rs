@@ -73,6 +73,8 @@
 //! assert!(h.quantile(0.99) >= h.quantile(0.50));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod metric;
 pub mod registry;
 pub mod snapshot;

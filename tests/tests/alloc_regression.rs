@@ -41,24 +41,33 @@ fn allocation_events() -> u64 {
     ALLOCATION_EVENTS.with(Cell::get)
 }
 
+// SAFETY: pure pass-through to `System`; the only addition is a
+// thread-local event counter, which allocates nothing and upholds every
+// `GlobalAlloc` contract by construction.
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         bump();
-        System.alloc(layout)
+        // SAFETY: caller upholds the `GlobalAlloc::alloc` contract.
+        unsafe { System.alloc(layout) }
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         bump();
-        System.alloc_zeroed(layout)
+        // SAFETY: caller upholds the `GlobalAlloc::alloc_zeroed` contract.
+        unsafe { System.alloc_zeroed(layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         bump();
-        System.realloc(ptr, layout, new_size)
+        // SAFETY: caller upholds the `GlobalAlloc::realloc` contract, and
+        // `ptr` came from this allocator (which delegates to `System`).
+        unsafe { System.realloc(ptr, layout, new_size) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
+        // SAFETY: `ptr` was allocated by this allocator with `layout`,
+        // per the `GlobalAlloc::dealloc` contract.
+        unsafe { System.dealloc(ptr, layout) }
     }
 }
 

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Sync-facade lint: the collector and server must not use std's blocking
+# synchronization primitives or thread-spawning entry points directly —
+# they go through `ldp_collector::sync` (crates/collector/src/sync.rs),
+# which re-exports std in normal builds and swaps in `ldp-check`'s
+# instrumented types under `--cfg ldp_check`. A direct `std::sync::Mutex`
+# is invisible to the schedule explorer, so this script fails CI on any
+# new one.
+#
+# Deliberately NOT banned (see the facade's module docs):
+#   * `std::sync::Arc` — plain reference counting carries no scheduling
+#     decisions, so the facade re-exports it verbatim in both builds.
+#   * `std::thread::scope` / `available_parallelism` — scoped threads
+#     borrow the parent stack; the cooperative scheduler only models
+#     detached `Builder::spawn` threads.
+#
+# Usage: tools/lint_sync_facade.sh  (from the repo root; exits non-zero
+# on violations and prints each offending line).
+
+set -u
+
+repo_root="$(cd -- "$(dirname -- "$0")/.." && pwd)"
+cd "$repo_root" || exit 1
+
+# Scanned trees: the crates whose concurrency the checker exercises.
+scan_dirs=(crates/collector/src crates/server/src)
+
+# The facade itself is the one place allowed to name std's primitives.
+allowlist='crates/collector/src/sync\.rs$'
+
+# Banned tokens. Multi-line `use std::sync::{...}` groups still match
+# because the brace group names the type on the same line as `Mutex` etc.
+banned_pattern='std::sync::(Mutex|RwLock|Condvar|MutexGuard|RwLockReadGuard|RwLockWriteGuard|OnceLock|Barrier)|std::thread::(spawn|Builder|park|park_timeout|sleep)\b'
+
+violations=0
+while IFS= read -r line; do
+    file="${line%%:*}"
+    case "$file" in
+        */sync.rs) continue ;;
+    esac
+    # Strip the match if it only appears in a comment (doc or line).
+    code="${line#*:}"          # "<lineno>:<text>"
+    code="${code#*:}"          # "<text>"
+    stripped="${code%%//*}"    # drop trailing // comment
+    if ! printf '%s' "$stripped" | grep -Eq "$banned_pattern"; then
+        continue
+    fi
+    if [ "$violations" -eq 0 ]; then
+        echo "sync-facade lint: direct std primitive use (route through ldp_collector::sync):" >&2
+    fi
+    echo "  $line" >&2
+    violations=$((violations + 1))
+done < <(grep -rnE "$banned_pattern" "${scan_dirs[@]}" 2>/dev/null | grep -Ev "$allowlist")
+
+if [ "$violations" -gt 0 ]; then
+    echo "sync-facade lint: $violations violation(s)." >&2
+    echo "Use ldp_collector::sync::{Mutex, RwLock, Condvar, OnceLock} and" >&2
+    echo "ldp_collector::sync::thread::{Builder, spawn, park, sleep} so the" >&2
+    echo "types swap to ldp-check's instrumented versions under --cfg ldp_check." >&2
+    exit 1
+fi
+
+echo "sync-facade lint: OK (no direct std::sync/std::thread primitive use outside the facade)."
