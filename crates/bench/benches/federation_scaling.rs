@@ -1,0 +1,168 @@
+//! Federation scaling: ingest throughput through an [`ldp_router::Router`]
+//! as the downstream collector count grows. One big collector saturates a
+//! machine's cores; this bench measures how much a router over N
+//! downstreams buys — near-linear until the router's own partition loop
+//! becomes the bottleneck.
+//!
+//! Downstreams are in-process [`Server`]s (the multi-process agreement
+//! pin is the `federation` integration test; this run times the routing
+//! fast path without process-spawn noise).
+//!
+//! Run: `cargo bench -p ldp-bench --bench federation_scaling`. Scale with
+//! `LDP_BENCH_REPORTS` (default 2M), `LDP_BENCH_BATCH` (default 8192),
+//! `LDP_BENCH_CONNS` (front connections, default 2), `LDP_BENCH_USERS`
+//! (default 10,000), `LDP_BENCH_DOWNSTREAMS` (largest federation,
+//! default 2; every size 1..=N is measured).
+//!
+//! At full scale (≥ 1M reports) on a machine with ≥ 4 cores the run
+//! **asserts a scaling floor**: the largest federation must beat the
+//! 1-downstream baseline by ≥ 1.6× (`LDP_BENCH_MIN_SCALING` overrides).
+//! Below either threshold the ratios are printed but not asserted — a
+//! single-core box serializes the downstream folds and proves nothing.
+
+use ldp_collector::{Collector, CollectorConfig, ReportBatch};
+use ldp_router::{Router, RouterConfig};
+use ldp_server::{RemoteCollector, Server, ServerConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One measured run: `downstreams` in-process servers behind a router,
+/// `conns` front connections splitting the pre-generated batches.
+/// Returns (elapsed seconds, accepted reports).
+fn run_federation(downstreams: usize, conns: usize, batches: &[Vec<ReportBatch>]) -> (f64, u64) {
+    let servers: Vec<Server> = (0..downstreams)
+        .map(|_| {
+            let collector = Arc::new(Collector::new(CollectorConfig::default()));
+            Server::bind(collector, ServerConfig::default()).expect("bind downstream")
+        })
+        .collect();
+    let router = Router::bind(
+        servers.iter().map(Server::local_addr).collect(),
+        RouterConfig::default(),
+    )
+    .expect("bind router");
+    let addr = router.local_addr();
+
+    let start = Instant::now();
+    let accepted: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = batches
+            .iter()
+            .take(conns)
+            .map(|conn_batches| {
+                scope.spawn(move || {
+                    let mut client = RemoteCollector::connect(addr).expect("connect front");
+                    for batch in conn_batches {
+                        client.ingest(batch).expect("ingest");
+                    }
+                    client.sync().expect("sync").accepted
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+
+    // The federation must still answer exactly before it's torn down.
+    let mut client = RemoteCollector::connect(addr).expect("connect for checks");
+    let summary = client.summary().expect("summary");
+    assert_eq!(summary.total_reports, accepted, "merged ledger is exact");
+    let metrics = router.metrics();
+    for i in 0..downstreams {
+        assert_eq!(
+            metrics
+                .counter(&format!("router.downstream.{i:02}.lost_frames"))
+                .unwrap_or(0),
+            0,
+            "clean run loses nothing"
+        );
+    }
+    (elapsed, accepted)
+}
+
+fn main() {
+    let total_reports = env_usize("LDP_BENCH_REPORTS", 2_000_000);
+    let batch_size = env_usize("LDP_BENCH_BATCH", 8_192);
+    let conns = env_usize("LDP_BENCH_CONNS", 2).max(1);
+    let users = env_usize("LDP_BENCH_USERS", 10_000) as u64;
+    let max_downstreams = env_usize("LDP_BENCH_DOWNSTREAMS", 2).max(1);
+    let batches_per_conn = total_reports.div_ceil(batch_size).div_ceil(conns);
+    let expected = (conns * batches_per_conn * batch_size) as u64;
+
+    eprintln!(
+        "# federation scaling bench: {conns} conns x {batches_per_conn} batches x {batch_size} \
+         reports = {expected} reports per federation size, {users} users, 1..={max_downstreams} \
+         downstreams"
+    );
+
+    // Pre-generate per-connection batches once; every federation size
+    // replays the identical workload.
+    let gen_start = Instant::now();
+    let batches: Vec<Vec<ReportBatch>> = (0..conns)
+        .map(|c| {
+            let mut state = 0xFEDE_7A7E_u64.wrapping_add(c as u64);
+            (0..batches_per_conn)
+                .map(|b| {
+                    let mut batch = ReportBatch::with_capacity(batch_size);
+                    let slot = (b % 512) as u64;
+                    for _ in 0..batch_size {
+                        state = state
+                            .wrapping_mul(6_364_136_223_846_793_005)
+                            .wrapping_add(1_442_695_040_888_963_407);
+                        let user = (state >> 33) % users;
+                        let value = ((state >> 11) % 2048) as f64 / 2048.0;
+                        batch.push(user, slot, value);
+                    }
+                    batch
+                })
+                .collect()
+        })
+        .collect();
+    eprintln!("# batches generated in {:.2?}", gen_start.elapsed());
+
+    let mut baseline_rate = 0.0f64;
+    let mut last_rate = 0.0f64;
+    for n in 1..=max_downstreams {
+        let (elapsed, accepted) = run_federation(n, conns, &batches);
+        assert_eq!(accepted, expected, "every report must be acked");
+        let rate = accepted as f64 / elapsed;
+        if n == 1 {
+            baseline_rate = rate;
+        }
+        last_rate = rate;
+        println!(
+            "federation   downstreams={n:<2} {accepted:>9} reports in {:>8.2}s  \
+             ({rate:>11.0} reports/s)  speedup x{:.2}",
+            elapsed,
+            rate / baseline_rate
+        );
+    }
+
+    let scaling = last_rate / baseline_rate;
+    println!(
+        "federation scaling 1→{max_downstreams}: x{scaling:.2} \
+         ({:.2}M → {:.2}M reports/s)",
+        baseline_rate / 1e6,
+        last_rate / 1e6
+    );
+
+    // Scaling floor: only meaningful at full scale on real parallelism —
+    // with fewer cores than downstream folds the OS serializes them and
+    // the ratio measures scheduler luck, not the router.
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let full_scale = expected >= 1_000_000 && max_downstreams >= 2 && cores >= 4;
+    let min_scaling = std::env::var("LDP_BENCH_MIN_SCALING")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(if full_scale { 1.6 } else { 0.0 });
+    assert!(
+        scaling >= min_scaling,
+        "federation scaling regressed: x{scaling:.2} < floor x{min_scaling:.2}"
+    );
+}

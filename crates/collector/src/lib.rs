@@ -96,4 +96,4 @@ pub use fleet::{
 };
 pub use query::{LiveView, QueryEngine};
 pub use report::{AsReportColumns, ReportBatch, ReportColumns, SlotReport};
-pub use snapshot::{CollectorSnapshot, SlotTable};
+pub use snapshot::{CollectorSnapshot, MergedParts, SlotTable, SnapshotPart};

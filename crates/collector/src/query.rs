@@ -189,6 +189,14 @@ impl LiveView {
     pub fn population_mean(&self) -> Option<f64> {
         (self.user_count > 0).then(|| self.mean_sum / self.user_count as f64)
     }
+
+    /// Sum of per-user running means — the raw mass behind
+    /// [`Self::population_mean`], exposed so a federation tier can add
+    /// disjoint collectors' contributions exactly before dividing once.
+    #[must_use]
+    pub fn user_mean_sum(&self) -> f64 {
+        self.mean_sum
+    }
 }
 
 /// The live query engine over a [`Collector`] (see the module docs for

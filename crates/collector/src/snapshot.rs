@@ -147,6 +147,171 @@ impl SlotTable {
     }
 }
 
+/// One collector's contribution to a federated merge — the owned form of
+/// the wire `Parts` frame a downstream serves from its live view.
+///
+/// `slots[i]` covers global slot `start + i`; `start` may sit above the
+/// owner's `retained_base` when the serving query clipped the range. The
+/// per-user side travels as two scalars (`user_count`, `user_mean_sum`)
+/// rather than rows: the federation tier routes each user to exactly one
+/// downstream, so user sets are disjoint and the scalars add exactly.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SnapshotPart {
+    /// The owner's own first fully-retained slot.
+    pub retained_base: u64,
+    /// One past the highest slot the owner covers.
+    pub slot_end: u64,
+    /// Global slot index of `slots[0]` (the clip start; `>= retained_base`).
+    pub start: u64,
+    /// Dense per-slot stats from `start`.
+    pub slots: Vec<SlotStats>,
+    /// Aggregate over every slot below the owner's `retained_base`.
+    pub frozen: SlotStats,
+    /// Total reports the owner has aggregated (retained + frozen).
+    pub total_reports: u64,
+    /// Distinct users the owner has seen.
+    pub user_count: u64,
+    /// Sum of the owner's per-user running means.
+    pub user_mean_sum: f64,
+}
+
+/// The result of federating [`SnapshotPart`]s: a merged slot table plus
+/// the summed scalar ledger, answering the same query verbs a single
+/// collector's view does.
+#[derive(Debug, Clone, Default)]
+pub struct MergedParts {
+    table: SlotTable,
+    total_reports: u64,
+    user_count: u64,
+    user_mean_sum: f64,
+}
+
+impl MergedParts {
+    /// Merges per-collector parts with the same largest-base anchoring
+    /// [`CollectorSnapshot::merge`] uses for shards: the merged view is
+    /// anchored at the **largest** per-part `retained_base` — the first
+    /// slot every part still fully retains — and any retained slot below
+    /// that folds into the frozen prefix, so a slot the merged view
+    /// reports is never missing one part's contribution.
+    ///
+    /// Parts must come from collectors owning disjoint user sets (the
+    /// router's hash-routing invariant); the scalar ledgers then add
+    /// exactly, and the merged population mean equals the single-process
+    /// answer up to floating-point summation order.
+    #[must_use]
+    pub fn merge<'a, I>(parts: I) -> Self
+    where
+        I: IntoIterator<Item = &'a SnapshotPart>,
+    {
+        let parts: Vec<&SnapshotPart> = parts.into_iter().collect();
+        let base = parts.iter().map(|p| p.retained_base).max().unwrap_or(0);
+        let end = parts
+            .iter()
+            .map(|p| p.slot_end.max(p.start + p.slots.len() as u64))
+            .max()
+            .unwrap_or(0)
+            .max(base);
+        let mut table = SlotTable::default();
+        table.realign(base, end);
+        let mut total_reports = 0u64;
+        let mut user_count = 0u64;
+        let mut user_mean_sum = 0.0f64;
+        for p in &parts {
+            table.merge_from(p.start, &p.slots, &p.frozen);
+            total_reports += p.total_reports;
+            user_count += p.user_count;
+            user_mean_sum += p.user_mean_sum;
+        }
+        Self {
+            table,
+            total_reports,
+            user_count,
+            user_mean_sum,
+        }
+    }
+
+    /// The merged slot-query core (base, retained stats, frozen prefix).
+    #[must_use]
+    pub fn table(&self) -> &SlotTable {
+        &self.table
+    }
+
+    /// Global index of the first slot every part fully retains.
+    #[must_use]
+    pub fn retained_base(&self) -> u64 {
+        self.table.retained_base()
+    }
+
+    /// One past the highest slot covered by any part.
+    #[must_use]
+    pub fn slot_end(&self) -> u64 {
+        self.table.slot_end()
+    }
+
+    /// Total reports across every part (retained + frozen).
+    #[must_use]
+    pub fn total_reports(&self) -> u64 {
+        self.total_reports
+    }
+
+    /// Distinct users across every part (exact: user sets are disjoint).
+    #[must_use]
+    pub fn user_count(&self) -> u64 {
+        self.user_count
+    }
+
+    /// Sum of per-user running means across every part.
+    #[must_use]
+    pub fn user_mean_sum(&self) -> f64 {
+        self.user_mean_sum
+    }
+
+    /// Aggregate over every slot below [`Self::retained_base`].
+    #[must_use]
+    pub fn frozen(&self) -> &SlotStats {
+        self.table.frozen()
+    }
+
+    /// Crowd mean estimate for one slot, `None` outside the merged
+    /// retained range or where nobody reported.
+    #[must_use]
+    pub fn slot_mean(&self, slot: usize) -> Option<f64> {
+        self.table.slot_mean(slot)
+    }
+
+    /// Windowed subsequence mean over the merged table.
+    #[must_use]
+    pub fn windowed_mean(&self, range: Range<usize>) -> Option<f64> {
+        self.table.windowed_mean(range)
+    }
+
+    /// The federated population mean: summed per-user mean mass over the
+    /// summed user count, `None` when no user has reported anywhere.
+    #[must_use]
+    pub fn population_mean(&self) -> Option<f64> {
+        (self.user_count > 0).then(|| self.user_mean_sum / self.user_count as f64)
+    }
+
+    /// Re-exports the merged state as a part, so merges compose: a tier
+    /// of routers can merge its downstreams' parts and serve the result
+    /// upward. [`MergedParts::merge`] over the re-exported parts of any
+    /// grouping agrees with a flat merge (associativity; pinned by
+    /// proptest).
+    #[must_use]
+    pub fn to_part(&self) -> SnapshotPart {
+        SnapshotPart {
+            retained_base: self.table.retained_base(),
+            slot_end: self.table.slot_end(),
+            start: self.table.retained_base(),
+            slots: self.table.slots().to_vec(),
+            frozen: *self.table.frozen(),
+            total_reports: self.total_reports,
+            user_count: self.user_count,
+            user_mean_sum: self.user_mean_sum,
+        }
+    }
+}
+
 /// A consistent-per-shard, merged view of the collector at some instant.
 ///
 /// Answers the crowd-level queries of the paper's evaluation:
@@ -442,6 +607,88 @@ mod tests {
         assert_eq!(snap.total_reports(), 16);
         assert_eq!(snap.slot_mean(6), None, "below merged base");
         assert!((snap.slot_mean(7).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    fn part_of(shards: &[ShardAccumulator]) -> SnapshotPart {
+        let snap = CollectorSnapshot::merge(shards);
+        let user_mean_sum: f64 = snap.per_user_means().iter().sum();
+        SnapshotPart {
+            retained_base: snap.retained_base(),
+            slot_end: snap.slot_end(),
+            start: snap.retained_base(),
+            slots: snap.slots().to_vec(),
+            frozen: *snap.frozen(),
+            total_reports: snap.total_reports(),
+            user_count: snap.user_count() as u64,
+            user_mean_sum,
+        }
+    }
+
+    #[test]
+    fn merge_parts_agrees_with_single_merge() {
+        let a = shard_with(&[(0, 0, 0.2), (0, 1, 0.4), (2, 3, 0.9)]);
+        let b = shard_with(&[(1, 0, 0.6), (1, 1, 0.8)]);
+        let both = CollectorSnapshot::merge(&[a.clone(), b.clone()]);
+        let merged = MergedParts::merge([&part_of(&[a]), &part_of(&[b])]);
+        assert_eq!(merged.total_reports(), both.total_reports());
+        assert_eq!(merged.user_count() as usize, both.user_count());
+        assert_eq!(merged.retained_base(), both.retained_base());
+        assert_eq!(merged.slot_end(), both.slot_end());
+        for slot in 0..both.slot_end() as usize {
+            match (merged.slot_mean(slot), both.slot_mean(slot)) {
+                (Some(m), Some(s)) => assert!((m - s).abs() < 1e-12),
+                (m, s) => assert_eq!(m, s),
+            }
+        }
+        let (pm, ps) = (
+            merged.population_mean().unwrap(),
+            both.population_mean().unwrap(),
+        );
+        assert!((pm - ps).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_parts_anchors_at_largest_base_and_conserves_counts() {
+        let mut a = ShardAccumulator::with_retention(SlotRetention::Last(3));
+        let mut b = ShardAccumulator::with_retention(SlotRetention::Last(3));
+        for slot in 0..10u64 {
+            a.ingest_parts(0, slot, 1.0);
+        }
+        for slot in 0..6u64 {
+            b.ingest_parts(1, slot, 0.0);
+        }
+        let merged = MergedParts::merge([&part_of(&[a]), &part_of(&[b])]);
+        assert_eq!(merged.retained_base(), 7);
+        assert_eq!(merged.slot_end(), 10);
+        assert_eq!(merged.frozen().count, 7 + 6);
+        assert_eq!(merged.total_reports(), 16);
+        assert_eq!(merged.slot_mean(6), None, "below merged base");
+        assert!((merged.slot_mean(7).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_parts_is_empty_safe_and_composes() {
+        let empty = MergedParts::merge([]);
+        assert_eq!(empty.population_mean(), None);
+        assert_eq!(empty.total_reports(), 0);
+        assert_eq!(empty.slot_end(), 0);
+
+        let a = part_of(&[shard_with(&[(0, 0, 0.25)])]);
+        let b = part_of(&[shard_with(&[(1, 2, 0.5)])]);
+        let c = part_of(&[shard_with(&[(2, 1, 0.75)])]);
+        let flat = MergedParts::merge([&a, &b, &c]);
+        let ab = MergedParts::merge([&a, &b]).to_part();
+        let nested = MergedParts::merge([&ab, &c]);
+        assert_eq!(nested.total_reports(), flat.total_reports());
+        assert_eq!(nested.user_count(), flat.user_count());
+        assert_eq!(nested.retained_base(), flat.retained_base());
+        assert_eq!(nested.slot_end(), flat.slot_end());
+        for slot in 0..flat.slot_end() as usize {
+            match (nested.slot_mean(slot), flat.slot_mean(slot)) {
+                (Some(m), Some(s)) => assert!((m - s).abs() < 1e-9),
+                (m, s) => assert_eq!(m, s),
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,259 @@
+//! The router's explorable concurrency primitives.
+//!
+//! Two small types carry *all* cross-thread coordination inside a router
+//! connection, so the interesting interleavings live in one file:
+//!
+//! * [`FrameQueue`] — the closeable FIFO between the front-connection
+//!   thread and each downstream link's writer thread. FIFO order is a
+//!   correctness property, not a convenience: a sync barrier enqueued
+//!   *after* a run of ingest frames must reach the downstream after
+//!   them, or the ack would not cover them.
+//! * [`FanoutGate`] — the ack-aggregation barrier: N link threads each
+//!   deposit their downstream's answer (or a failure marker) into a
+//!   distinct slot, and the front thread's [`FanoutGate::wait`] returns
+//!   only once **every** slot is filled. This is the "durable at every
+//!   downstream" invariant: no `IngestAck` can reach the client while
+//!   any downstream's disposition is still unknown.
+//!
+//! Both are built exclusively on `ldp_collector::sync`, so under
+//! `RUSTFLAGS="--cfg ldp_check"` they run on the deterministic
+//! cooperative scheduler and `tests/tests/schedule_exploration.rs` can
+//! systematically explore deposit/wait interleavings.
+
+use ldp_collector::sync::{Condvar, Mutex};
+use std::collections::VecDeque;
+
+/// A closeable MPSC queue feeding one downstream link's writer thread.
+///
+/// Producers [`push`](Self::push); the single consumer
+/// [`pop`](Self::pop)s, blocking while the queue is open and empty.
+/// [`close`](Self::close) lets the consumer drain what was already
+/// enqueued, then observe end-of-stream — the shutdown idiom the link
+/// threads rely on to flush pending ingest before exiting.
+#[derive(Debug)]
+pub struct FrameQueue<T> {
+    state: Mutex<QueueState<T>>,
+    ready: Condvar,
+}
+
+#[derive(Debug)]
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> FrameQueue<T> {
+    /// An open, empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueues `item`; returns `false` (discarding `item`) if the queue
+    /// has been closed.
+    pub fn push(&self, item: T) -> bool {
+        let mut state = self.state.lock().expect("frame queue poisoned");
+        if state.closed {
+            return false;
+        }
+        state.items.push_back(item);
+        self.ready.notify_one();
+        true
+    }
+
+    /// Blocks for the next item; `None` once the queue is closed *and*
+    /// drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("frame queue poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).expect("frame queue poisoned");
+        }
+    }
+
+    /// Closes the queue: subsequent pushes fail, pops drain the backlog
+    /// and then return `None`. Idempotent.
+    pub fn close(&self) {
+        self.state.lock().expect("frame queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Items currently enqueued (racy by nature; for tests/telemetry).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("frame queue poisoned").items.len()
+    }
+
+    /// Whether the queue is currently empty (racy by nature).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Default for FrameQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The fan-out barrier: one slot per downstream, each deposited exactly
+/// once with `Some(answer)` or `None` (that link failed), and a single
+/// [`wait`](Self::wait) that blocks until all slots are filled.
+///
+/// The gate is single-shot: one barrier per `IngestSync`/query fan-out,
+/// allocated fresh each time (cheap — one `Vec` of N slots).
+#[derive(Debug)]
+pub struct FanoutGate<T> {
+    state: Mutex<GateState<T>>,
+    done: Condvar,
+}
+
+#[derive(Debug)]
+struct GateState<T> {
+    /// Outer `Option`: slot deposited yet? Inner: the answer, `None`
+    /// when the link failed.
+    slots: Vec<Option<Option<T>>>,
+    deposited: usize,
+}
+
+impl<T> FanoutGate<T> {
+    /// A gate expecting `n` deposits.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            state: Mutex::new(GateState {
+                slots: (0..n).map(|_| None).collect(),
+                deposited: 0,
+            }),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Number of slots the gate was created with.
+    #[must_use]
+    pub fn slots(&self) -> usize {
+        self.state.lock().expect("fanout gate poisoned").slots.len()
+    }
+
+    /// Deposits downstream `idx`'s answer (`None` = that link failed).
+    ///
+    /// # Panics
+    /// On an out-of-range index or a double deposit — both are router
+    /// logic errors, not runtime conditions.
+    pub fn deposit(&self, idx: usize, value: Option<T>) {
+        let mut state = self.state.lock().expect("fanout gate poisoned");
+        let slot = &mut state.slots[idx];
+        assert!(slot.is_none(), "fanout gate: double deposit at slot {idx}");
+        *slot = Some(value);
+        state.deposited += 1;
+        if state.deposited == state.slots.len() {
+            self.done.notify_all();
+        }
+    }
+
+    /// Blocks until every slot has been deposited, then takes the
+    /// answers (indexed by downstream; `None` where the link failed).
+    ///
+    /// Single-shot: call once per gate.
+    ///
+    /// # Panics
+    /// If called twice on the same gate.
+    #[must_use]
+    pub fn wait(&self) -> Vec<Option<T>> {
+        let mut state = self.state.lock().expect("fanout gate poisoned");
+        while state.deposited < state.slots.len() {
+            state = self.done.wait(state).expect("fanout gate poisoned");
+        }
+        state
+            .slots
+            .iter_mut()
+            .map(|slot| slot.take().expect("fanout gate: wait called twice"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_collector::sync::atomic::{AtomicUsize, Ordering};
+    use ldp_collector::sync::thread;
+    use ldp_collector::sync::Arc;
+
+    #[test]
+    fn queue_is_fifo_and_drains_after_close() {
+        let q = FrameQueue::new();
+        assert!(q.push(1));
+        assert!(q.push(2));
+        q.close();
+        assert!(!q.push(3), "closed queue refuses new items");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None, "end-of-stream is sticky");
+    }
+
+    #[test]
+    fn queue_blocking_pop_wakes_on_push_and_close() {
+        let q = Arc::new(FrameQueue::new());
+        let consumer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(item) = q.pop() {
+                    got.push(item);
+                }
+                got
+            })
+        };
+        for i in 0..100 {
+            assert!(q.push(i));
+        }
+        q.close();
+        assert_eq!(consumer.join().unwrap(), (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn gate_wait_returns_only_after_every_deposit() {
+        let n = 4;
+        let gate = Arc::new(FanoutGate::new(n));
+        let deposited = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..n)
+            .map(|idx| {
+                let gate = Arc::clone(&gate);
+                let deposited = Arc::clone(&deposited);
+                thread::spawn(move || {
+                    deposited.fetch_add(1, Ordering::SeqCst);
+                    gate.deposit(idx, if idx == 2 { None } else { Some(idx * 10) });
+                })
+            })
+            .collect();
+        let answers = gate.wait();
+        // The barrier property: by the time wait() returns, every
+        // depositor has run — no early ack.
+        assert_eq!(deposited.load(Ordering::SeqCst), n);
+        assert_eq!(answers, vec![Some(0), Some(10), None, Some(30)]);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "double deposit")]
+    fn gate_rejects_double_deposit() {
+        let gate = FanoutGate::new(2);
+        gate.deposit(0, Some(1));
+        gate.deposit(0, Some(2));
+    }
+}

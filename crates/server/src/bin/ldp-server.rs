@@ -1,0 +1,85 @@
+//! `ldp-server` — a standalone collector process behind a TCP socket.
+//!
+//! One downstream of a federated deployment (see `ldp-router`), or a
+//! single-node service on its own. Prints `LISTENING <addr>` on stdout
+//! once the socket is bound (how a parent process or test harness learns
+//! the ephemeral port), then serves until stdin reaches EOF — closing the
+//! parent's pipe is the shutdown signal, so an orphaned server never
+//! outlives its supervisor.
+//!
+//! ```text
+//! ldp-server [--bind ADDR] [--shards N] [--max-slots N]
+//!            [--retention R] [--workers N] [--max-connections N]
+//! ```
+//!
+//! `--retention 0` (the default) keeps every slot; `R > 0` bounds each
+//! shard to its most recent `R` slots.
+
+use ldp_collector::{Collector, CollectorConfig, SlotRetention};
+use ldp_server::{Server, ServerConfig};
+use std::io::{Read, Write};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: ldp-server [--bind ADDR] [--shards N] [--max-slots N] \
+         [--retention R] [--workers N] [--max-connections N]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut bind = String::from("127.0.0.1:0");
+    let mut collector_config = CollectorConfig::default();
+    let mut server_config = ServerConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let Some(value) = args.next() else {
+            return usage();
+        };
+        let parsed = match flag.as_str() {
+            "--bind" => {
+                bind = value;
+                continue;
+            }
+            "--shards" => value.parse().map(|v| collector_config.shards = v),
+            "--max-slots" => value.parse().map(|v| collector_config.max_slots = v),
+            "--retention" => value.parse().map(|r: u64| {
+                collector_config.retention = if r == 0 {
+                    SlotRetention::Unbounded
+                } else {
+                    SlotRetention::Last(r)
+                };
+            }),
+            "--workers" => value.parse().map(|v| collector_config.ingest_workers = v),
+            "--max-connections" => value.parse().map(|v| server_config.max_connections = v),
+            _ => return usage(),
+        };
+        if parsed.is_err() {
+            return usage();
+        }
+    }
+
+    let collector = Arc::new(Collector::new(collector_config));
+    let server = match Server::bind_addr(collector, bind.as_str(), server_config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("ldp-server: bind {bind}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The parent parses this line to learn the ephemeral port; flush so
+    // it never sits in a pipe buffer.
+    println!("LISTENING {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+
+    // Serve until the parent closes our stdin (or we're killed). Reading
+    // in a loop tolerates stray input; EOF is the shutdown signal.
+    let mut sink = [0u8; 256];
+    let mut stdin = std::io::stdin().lock();
+    while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+    drop(server); // graceful shutdown: joins accept/refresher/conn threads
+    ExitCode::SUCCESS
+}

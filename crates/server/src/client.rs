@@ -7,23 +7,100 @@
 //! inserts a barrier that returns the connection's disposition ledger —
 //! the same accept/drop/reject accounting [`ldp_collector::Collector`]
 //! keeps in-process. Queries are classic request/response.
+//!
+//! Transient connection failures are survivable: a [`ReconnectPolicy`]
+//! gives the handle bounded reconnect-with-backoff, so a server restart
+//! or dropped socket retries the in-flight operation on a fresh
+//! connection instead of poisoning the handle (see
+//! [`RemoteCollector::connect_with`] for the exact semantics).
 
 use crate::serve::Server;
 use crate::wire::{
     code, Frame, Header, StatsBody, SummaryBody, WireError, DEFAULT_MAX_PAYLOAD, HEADER_LEN,
 };
-use ldp_collector::{ClientFleet, FleetError, IngestOutcome, ReportBatch, ReportSink};
+use ldp_collector::sync::thread;
+use ldp_collector::{
+    ClientFleet, FleetError, IngestOutcome, ReportBatch, ReportSink, SnapshotPart,
+};
 use ldp_streams::Population;
 use ldp_telemetry::TelemetrySnapshot;
 use std::io::{Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::ops::Range;
+use std::time::Duration;
+
+/// Bounded reconnect-with-backoff for [`RemoteCollector`]: how many times
+/// a transient transport failure (reset / aborted / broken pipe /
+/// unexpected EOF) may be answered by sleeping an exponentially growing
+/// backoff and dialing a fresh connection before the error is surfaced.
+#[derive(Debug, Clone, Copy)]
+pub struct ReconnectPolicy {
+    /// Reconnect attempts per failing operation (0 = a dropped
+    /// connection is immediately fatal, the pre-v3 behavior).
+    pub max_retries: u32,
+    /// Backoff before the first reconnect attempt; doubles per attempt.
+    pub initial_backoff: Duration,
+    /// Ceiling on the per-attempt backoff.
+    pub max_backoff: Duration,
+}
+
+impl Default for ReconnectPolicy {
+    /// Three attempts, 10 ms doubling to a 200 ms ceiling — rides out a
+    /// server restart without stalling a dead target for seconds.
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(200),
+        }
+    }
+}
+
+impl ReconnectPolicy {
+    /// No reconnects: any transport failure is immediately fatal.
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            max_retries: 0,
+            ..Self::default()
+        }
+    }
+
+    /// Backoff before reconnect attempt `attempt` (1-based).
+    #[must_use]
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.saturating_sub(1).min(16);
+        self.initial_backoff
+            .saturating_mul(factor)
+            .min(self.max_backoff)
+    }
+}
+
+/// Whether an I/O error is a transient *transport* failure worth a
+/// reconnect. Server-reported error frames (mapped to refused / invalid
+/// input / invalid data kinds) are never transient: the connection is
+/// healthy, the server said no.
+fn is_transient(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::UnexpectedEof
+            | std::io::ErrorKind::NotConnected
+    )
+}
 
 /// A connection to an `ldp-server`, presenting the collector's ingest
 /// and query surface over the wire.
 #[derive(Debug)]
 pub struct RemoteCollector {
     stream: TcpStream,
+    /// Resolved addresses for reconnects (first that answers wins).
+    addrs: Vec<SocketAddr>,
+    reconnect: ReconnectPolicy,
+    /// Ping nonce counter (each ping must echo a fresh token).
+    nonce: u64,
     /// Reusable encode buffer (one frame at a time).
     out: Vec<u8>,
     /// Reusable payload read buffer — grown to the largest reply seen,
@@ -36,19 +113,90 @@ pub struct RemoteCollector {
 
 impl RemoteCollector {
     /// Connects to a server (Nagle disabled: ingest frames are already
-    /// batched, queries want the latency).
+    /// batched, queries want the latency) with the default
+    /// [`ReconnectPolicy`].
     ///
     /// # Errors
     /// Connection errors.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
+        Self::connect_with(addr, ReconnectPolicy::default())
+    }
+
+    /// Connects with an explicit reconnect policy.
+    ///
+    /// Reconnect semantics: a fresh connection has a **fresh server-side
+    /// ledger**, and any pipelined ingest frames the old connection had
+    /// not yet delivered are gone with it. Queries and pings are
+    /// stateless, so retrying them on the new connection is exact; an
+    /// `ingest` retry re-sends only the batch that failed to write; a
+    /// `sync` after a mid-stream reconnect acknowledges only what the
+    /// *new* connection carried. Callers that need exactly-once
+    /// accounting across reconnects (the router does) track
+    /// unacknowledged frames themselves and report the gap.
+    ///
+    /// # Errors
+    /// Connection errors (the initial dial is not retried — a target
+    /// that was never reachable is a configuration error, not a
+    /// transient).
+    pub fn connect_with<A: ToSocketAddrs>(
+        addr: A,
+        reconnect: ReconnectPolicy,
+    ) -> std::io::Result<Self> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let stream = Self::open(&addrs)?;
         Ok(Self {
             stream,
+            addrs,
+            reconnect,
+            nonce: 0,
             out: Vec::with_capacity(4096),
             payload: Vec::new(),
             max_payload: DEFAULT_MAX_PAYLOAD,
         })
+    }
+
+    /// Dials the first resolved address that answers.
+    fn open(addrs: &[SocketAddr]) -> std::io::Result<TcpStream> {
+        let mut last_err = None;
+        for addr in addrs {
+            match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    return Ok(stream);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address to connect to")
+        }))
+    }
+
+    /// Runs `op`, answering transient transport failures with up to
+    /// `max_retries` backoff-then-reconnect rounds. A reconnect that
+    /// itself fails consumes a retry and leaves the old stream in place
+    /// (the next `op` failure triggers the next round), so a dead target
+    /// costs exactly `max_retries` dial attempts.
+    fn with_reconnect<T>(
+        &mut self,
+        mut op: impl FnMut(&mut Self) -> std::io::Result<T>,
+    ) -> std::io::Result<T> {
+        let mut attempt = 0u32;
+        loop {
+            let err = match op(self) {
+                Ok(v) => return Ok(v),
+                Err(e) if is_transient(&e) => e,
+                Err(e) => return Err(e),
+            };
+            if attempt >= self.reconnect.max_retries {
+                return Err(err);
+            }
+            attempt += 1;
+            thread::sleep(self.reconnect.backoff(attempt));
+            if let Ok(stream) = Self::open(&self.addrs) {
+                self.stream = stream;
+            }
+        }
     }
 
     /// Uploads one batch (fire-and-forget; pair with [`Self::sync`] for
@@ -56,13 +204,13 @@ impl RemoteCollector {
     /// rides along so the server ledger accounts for it.
     ///
     /// # Errors
-    /// Transport errors.
+    /// Transport errors (after reconnect retries are exhausted).
     pub fn ingest(&mut self, batch: &ReportBatch) -> std::io::Result<()> {
         self.out.clear();
         // Encode straight from the batch columns — no intermediate
         // column clones on the hot path.
         Frame::encode_ingest_into(batch, &mut self.out);
-        self.stream.write_all(&self.out)
+        self.with_reconnect(|this| this.stream.write_all(&this.out))
     }
 
     /// Barrier: waits until the server has ingested everything sent on
@@ -169,17 +317,60 @@ impl RemoteCollector {
         }
     }
 
-    /// Sends one frame and reads the server's reply, mapping a server
-    /// [`Frame::Error`] to `io::Error`.
+    /// Health check: sends a [`Frame::Ping`] and verifies the echoed
+    /// nonce — one round trip touching no collector state, so a
+    /// federation tier can probe a downstream without skewing its books.
+    ///
+    /// # Errors
+    /// Transport errors, a server-reported error frame (a pre-v3 server
+    /// answers `UNSUPPORTED`), or a nonce mismatch.
+    pub fn ping(&mut self) -> std::io::Result<()> {
+        self.nonce = self.nonce.wrapping_add(1);
+        let nonce = self.nonce;
+        match self.request(&Frame::Ping { nonce })? {
+            Frame::Pong { nonce: echoed } if echoed == nonce => Ok(()),
+            Frame::Pong { .. } => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "pong echoed the wrong nonce",
+            )),
+            other => Err(unexpected_reply(&other)),
+        }
+    }
+
+    /// Federation query: the server's raw mergeable contribution over
+    /// `range`, clipped server-side to its retained slots (`0..u64::MAX`
+    /// asks for everything retained). What a router fans out and folds
+    /// with [`ldp_collector::MergedParts::merge`].
+    ///
+    /// # Errors
+    /// Transport errors, or a server-reported error frame (range beyond
+    /// the server's per-query slot bound).
+    pub fn query_parts(&mut self, range: Range<u64>) -> std::io::Result<SnapshotPart> {
+        let frame = Frame::QueryParts {
+            start: range.start,
+            end: range.end,
+        };
+        match self.request(&frame)? {
+            Frame::Parts(part) => Ok(part),
+            other => Err(unexpected_reply(&other)),
+        }
+    }
+
+    /// Sends one frame and reads the server's reply (reconnect-retried
+    /// on transient transport failure), mapping a server [`Frame::Error`]
+    /// to `io::Error`.
     fn request(&mut self, frame: &Frame) -> std::io::Result<Frame> {
         self.out.clear();
         frame.encode_into(&mut self.out);
-        self.stream.write_all(&self.out)?;
-        let reply = self.read_frame()?;
+        let reply = self.with_reconnect(|this| {
+            this.stream.write_all(&this.out)?;
+            this.read_frame()
+        })?;
         if let Frame::Error { code: c, message } = reply {
             let kind = match c {
                 code::BUSY => std::io::ErrorKind::ConnectionRefused,
                 code::BAD_QUERY => std::io::ErrorKind::InvalidInput,
+                code::DEGRADED => std::io::ErrorKind::Other,
                 _ => std::io::ErrorKind::InvalidData,
             };
             return Err(std::io::Error::new(

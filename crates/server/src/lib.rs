@@ -63,9 +63,10 @@ pub mod client;
 pub mod serve;
 pub mod wire;
 
-pub use client::{drive_fleet_loopback, drive_fleet_remote, RemoteCollector};
-pub use serve::{Server, ServerConfig};
+pub use client::{drive_fleet_loopback, drive_fleet_remote, ReconnectPolicy, RemoteCollector};
+pub use serve::{read_full, ReadOutcome, Server, ServerConfig};
 pub use wire::{
     checksum, frame_type_name, Frame, FrameView, Header, IngestScratch, IngestView, MetricsView,
-    SlotMeansView, StatsBody, SummaryBody, WireError, METRICS_SNAPSHOT_VERSION, WIRE_VERSION,
+    PartsView, SlotMeansView, StatsBody, SummaryBody, WireError, METRICS_SNAPSHOT_VERSION,
+    WIRE_VERSION,
 };

@@ -48,7 +48,7 @@ use crate::wire::{
 use ldp_collector::sync::atomic::{AtomicBool, Ordering};
 use ldp_collector::sync::thread::{self, JoinHandle};
 use ldp_collector::sync::Arc;
-use ldp_collector::{Collector, QueryEngine};
+use ldp_collector::{Collector, QueryEngine, SnapshotPart};
 use ldp_telemetry::{Counter, Gauge, Histogram, Registry, TelemetrySnapshot};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -127,6 +127,8 @@ struct ServerMetrics {
     query_stats_nanos: Arc<Histogram>,
     /// See [`Self::query_population_mean_nanos`].
     query_metrics_nanos: Arc<Histogram>,
+    /// See [`Self::query_population_mean_nanos`].
+    query_parts_nanos: Arc<Histogram>,
 }
 
 impl ServerMetrics {
@@ -155,6 +157,7 @@ impl ServerMetrics {
             query_summary_nanos: registry.histogram("server.query.summary_nanos"),
             query_stats_nanos: registry.histogram("server.query.stats_nanos"),
             query_metrics_nanos: registry.histogram("server.query.metrics_nanos"),
+            query_parts_nanos: registry.histogram("server.query.parts_nanos"),
         }
     }
 
@@ -387,24 +390,28 @@ fn refuse_busy(shared: &Shared, mut stream: TcpStream) {
     }
 }
 
-/// Outcome of an interruptible exact read.
-enum ReadOutcome {
+/// Outcome of an interruptible exact read ([`read_full`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadOutcome {
     /// Buffer filled.
     Full,
     /// Clean EOF before the first byte (peer closed between frames).
     Eof,
     /// EOF mid-buffer (peer died inside a frame).
     TruncatedEof,
-    /// The server is shutting down.
+    /// The service is shutting down.
     Shutdown,
     /// Hard transport error.
     Failed,
 }
 
 /// Reads exactly `buf.len()` bytes, waking every read-timeout tick to
-/// check the shutdown flag — `read_exact` would eat the partial read on
-/// timeout, so the fill position is tracked explicitly.
-fn read_full(stream: &mut TcpStream, buf: &mut [u8], shared: &Shared) -> ReadOutcome {
+/// check `shutdown` — `read_exact` would eat the partial read on timeout,
+/// so the fill position is tracked explicitly. The stream must be
+/// blocking with a read timeout installed (the poll cadence). Shared by
+/// the server's connection threads and the router's front/downstream
+/// pumps, so the two services cannot drift in shutdown semantics.
+pub fn read_full(stream: &mut TcpStream, buf: &mut [u8], shutdown: &AtomicBool) -> ReadOutcome {
     let mut filled = 0;
     while filled < buf.len() {
         match stream.read(&mut buf[filled..]) {
@@ -421,7 +428,7 @@ fn read_full(stream: &mut TcpStream, buf: &mut [u8], shared: &Shared) -> ReadOut
                     || e.kind() == ErrorKind::TimedOut
                     || e.kind() == ErrorKind::Interrupted =>
             {
-                if shared.shutdown.load(Ordering::Acquire) {
+                if shutdown.load(Ordering::Acquire) {
                     return ReadOutcome::Shutdown;
                 }
             }
@@ -467,7 +474,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
     let mut out = Vec::new();
 
     loop {
-        match read_full(&mut stream, &mut header_buf, shared) {
+        match read_full(&mut stream, &mut header_buf, &shared.shutdown) {
             ReadOutcome::Full => {}
             ReadOutcome::Eof => return, // clean close at a frame boundary
             ReadOutcome::TruncatedEof => {
@@ -499,7 +506,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
             payload_buf.resize(payload_len, 0);
         }
         let payload = &mut payload_buf[..payload_len];
-        match read_full(&mut stream, payload, shared) {
+        match read_full(&mut stream, payload, &shared.shutdown) {
             ReadOutcome::Full => {}
             ReadOutcome::Eof | ReadOutcome::TruncatedEof => {
                 shared.metrics.frames_failed.inc();
@@ -613,6 +620,34 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
                 shared.metrics.queries_answered.inc();
                 Some(Frame::Metrics(shared.collector().telemetry().snapshot()))
             }
+            FrameView::QueryParts { start, end } => {
+                let _t = shared.metrics.query_parts_nanos.timer();
+                shared.metrics.queries_answered.inc();
+                shared.engine.refresh();
+                let view = shared.engine.view();
+                // Clip to the retained range (an empty clip is fine: the
+                // reply still carries the scalar ledger), but bound the
+                // per-slot response like slot-means.
+                let lo = start.max(view.retained_base()).min(view.slot_end());
+                let hi = end.min(view.slot_end()).max(lo);
+                Some(if hi - lo > shared.config.max_query_slots {
+                    bad_query("parts range exceeds the server's bound")
+                } else {
+                    Frame::Parts(SnapshotPart {
+                        retained_base: view.retained_base(),
+                        slot_end: view.slot_end(),
+                        start: lo,
+                        slots: (lo..hi)
+                            .map(|s| view.slot_stats(s).copied().unwrap_or_default())
+                            .collect(),
+                        frozen: *view.frozen(),
+                        total_reports: view.total_reports(),
+                        user_count: view.user_count() as u64,
+                        user_mean_sum: view.user_mean_sum(),
+                    })
+                })
+            }
+            FrameView::Ping { nonce } => Some(Frame::Pong { nonce }),
             FrameView::Goodbye => return,
             // Server-to-client frames arriving at the server: the frame
             // parsed, so the stream is still in sync — answer with an
@@ -624,6 +659,8 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
             | FrameView::Summary(_)
             | FrameView::Stats(_)
             | FrameView::Metrics(_)
+            | FrameView::Pong { .. }
+            | FrameView::Parts(_)
             | FrameView::Error { .. } => Some(Frame::Error {
                 code: code::UNSUPPORTED,
                 message: "frame type is server-to-client".into(),

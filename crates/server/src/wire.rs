@@ -6,7 +6,7 @@
 //! offset  size  field
 //! ------  ----  -----------------------------------------------
 //!      0     4  magic  "LDPW"
-//!      4     1  protocol version (currently 2)
+//!      4     1  protocol version (currently 3)
 //!      5     1  frame type (see [`Frame`] discriminants)
 //!      6     2  reserved, must be zero
 //!      8     4  payload length, little-endian u32
@@ -44,7 +44,7 @@
 //! The codec is pure (`&[u8]` ↔ [`Frame`]/[`FrameView`]) and std-only;
 //! framed I/O on sockets lives in [`crate::serve`] and [`crate::client`].
 
-use ldp_collector::{ReportBatch, ReportColumns};
+use ldp_collector::{ReportBatch, ReportColumns, SlotStats, SnapshotPart};
 use ldp_telemetry::{
     HistogramSnapshot, MetricEntry, MetricValue, TelemetrySnapshot, HISTOGRAM_BUCKETS,
 };
@@ -57,8 +57,13 @@ pub const MAGIC: [u8; 4] = *b"LDPW";
 /// transport tallies to [`StatsBody`] (the existing fields keep their
 /// offsets, but the payload layout of an existing frame changed, which
 /// per the versioning rule bumps the version) and added the
-/// [`Frame::QueryMetrics`] / [`Frame::Metrics`] telemetry frames.
-pub const WIRE_VERSION: u8 = 2;
+/// [`Frame::QueryMetrics`] / [`Frame::Metrics`] telemetry frames; v3
+/// added the [`Frame::Ping`] / [`Frame::Pong`] health-check frames, the
+/// [`Frame::QueryParts`] / [`Frame::Parts`] federation-merge family, and
+/// the [`code::DEGRADED`] error code, so a v3 federation tier never
+/// half-speaks to a v2 peer that would soft-fail its health checks with
+/// `Error { UNSUPPORTED }`.
+pub const WIRE_VERSION: u8 = 3;
 /// Version byte of the metrics-snapshot payload carried by
 /// [`Frame::Metrics`] — versioned independently of the envelope so the
 /// snapshot layout can evolve without a protocol-wide bump.
@@ -82,6 +87,9 @@ pub mod code {
     /// The query parsed but its arguments are invalid (e.g. an empty or
     /// inverted slot range).
     pub const BAD_QUERY: u16 = 4;
+    /// A federation tier could not reach every downstream it needs for
+    /// an exact answer; the healthy subset is still being served.
+    pub const DEGRADED: u16 = 5;
 }
 
 /// Everything that can go wrong turning bytes into a [`Frame`].
@@ -377,6 +385,36 @@ pub enum Frame {
     },
     /// Polite connection close.
     Goodbye,
+    /// Liveness probe (added in v3): a peer answers with [`Frame::Pong`]
+    /// echoing the nonce, touching no collector state — how a federation
+    /// tier health-checks downstreams without issuing a real query.
+    Ping {
+        /// Opaque caller token, echoed verbatim in the pong.
+        nonce: u64,
+    },
+    /// Reply to [`Frame::Ping`].
+    Pong {
+        /// The nonce from the matching ping.
+        nonce: u64,
+    },
+    /// Federation query (added in v3): asks for the raw per-slot stats
+    /// and scalar ledger over `start..end`, clipped server-side to the
+    /// retained range. Unlike the human-facing query verbs an empty (or
+    /// fully expired) range is fine — the reply still carries the scalar
+    /// ledger, which is all a population-mean merge needs.
+    QueryParts {
+        /// First slot requested.
+        start: u64,
+        /// One past the last slot requested (`u64::MAX` = everything
+        /// retained).
+        end: u64,
+    },
+    /// Reply to [`Frame::QueryParts`]: this collector's mergeable
+    /// contribution (see [`SnapshotPart`]) — per-slot
+    /// count/sum/sum-of-squares records plus the frozen aggregate and
+    /// the scalar user ledger, everything a router needs to reproduce
+    /// the single-process answers exactly.
+    Parts(SnapshotPart),
 }
 
 // Frame-type discriminants.
@@ -397,10 +435,14 @@ const FT_ERROR: u8 = 14;
 const FT_GOODBYE: u8 = 15;
 const FT_QUERY_METRICS: u8 = 16;
 const FT_METRICS: u8 = 17;
+const FT_PING: u8 = 18;
+const FT_PONG: u8 = 19;
+const FT_QUERY_PARTS: u8 = 20;
+const FT_PARTS: u8 = 21;
 
 /// The contiguous range of assigned frame-type discriminants (used by the
 /// server to size its per-frame-type telemetry counters).
-pub(crate) const KNOWN_FRAME_TYPES: std::ops::RangeInclusive<u8> = FT_INGEST..=FT_METRICS;
+pub(crate) const KNOWN_FRAME_TYPES: std::ops::RangeInclusive<u8> = FT_INGEST..=FT_PARTS;
 
 /// Stable lowercase name of a frame type (for metric names and
 /// dashboards), or `None` for an unassigned discriminant.
@@ -424,6 +466,10 @@ pub fn frame_type_name(frame_type: u8) -> Option<&'static str> {
         FT_GOODBYE => "goodbye",
         FT_QUERY_METRICS => "query_metrics",
         FT_METRICS => "metrics",
+        FT_PING => "ping",
+        FT_PONG => "pong",
+        FT_QUERY_PARTS => "query_parts",
+        FT_PARTS => "parts",
         _ => return None,
     })
 }
@@ -650,6 +696,119 @@ impl<'a> SlotMeansView<'a> {
     }
 }
 
+/// Borrowed decode of a parts response payload ([`Frame::Parts`]): the
+/// scalar ledger parsed out, the per-slot records still in wire form
+/// (`count * 24` bytes of `(count u64, sum f64, sum_sq f64)`), iterated
+/// without allocating — a router merging N downstream answers folds each
+/// record straight into its merge table.
+#[derive(Debug, Clone, Copy)]
+pub struct PartsView<'a> {
+    retained_base: u64,
+    slot_end: u64,
+    start: u64,
+    /// `count * 24` bytes of per-slot records; length validated at parse
+    /// time, so iteration is infallible.
+    raw: &'a [u8],
+    frozen: SlotStats,
+    total_reports: u64,
+    user_count: u64,
+    user_mean_sum: f64,
+}
+
+impl<'a> PartsView<'a> {
+    /// Parses a parts payload. The claimed record count is cross-checked
+    /// against the payload length before anything is read, so a hostile
+    /// count cannot force an allocation here or in the merge.
+    ///
+    /// # Errors
+    /// [`WireError::Truncated`] / [`WireError::BadPayload`].
+    pub fn parse(payload: &'a [u8]) -> WireResult<Self> {
+        let mut r = Reader { buf: payload };
+        let retained_base = r.u64()?;
+        let slot_end = r.u64()?;
+        let start = r.u64()?;
+        let count = r.u32()? as usize;
+        // Checked for the same reason as the ingest cross-check: a wrap
+        // on 32-bit targets must refuse, not alias.
+        let record_bytes = count
+            .checked_mul(24)
+            .ok_or(WireError::BadPayload("parts records disagree with count"))?;
+        // 24 frozen + 8 total + 8 users + 8 mean sum after the records.
+        if r.buf.len() != record_bytes + 48 {
+            return Err(WireError::BadPayload("parts records disagree with count"));
+        }
+        let covered_end = start
+            .checked_add(count as u64)
+            .ok_or(WireError::BadPayload("parts slot range inconsistent"))?;
+        if start < retained_base || covered_end > slot_end.max(start) {
+            return Err(WireError::BadPayload("parts slot range inconsistent"));
+        }
+        let raw = r.take(record_bytes)?;
+        let frozen = SlotStats {
+            count: r.u64()?,
+            sum: r.f64()?,
+            sum_sq: r.f64()?,
+        };
+        let total_reports = r.u64()?;
+        let user_count = r.u64()?;
+        let user_mean_sum = r.f64()?;
+        r.finish()?;
+        Ok(Self {
+            retained_base,
+            slot_end,
+            start,
+            raw,
+            frozen,
+            total_reports,
+            user_count,
+            user_mean_sum,
+        })
+    }
+
+    /// Global slot index of the first record.
+    #[must_use]
+    pub fn start(&self) -> u64 {
+        self.start
+    }
+
+    /// Number of per-slot records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.raw.len() / 24
+    }
+
+    /// Whether the part carries no per-slot records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// Iterates the per-slot records in wire (slot-ascending) order.
+    pub fn iter(&self) -> impl Iterator<Item = SlotStats> + 'a {
+        self.raw.chunks_exact(24).map(|rec| SlotStats {
+            count: u64::from_le_bytes(rec[0..8].try_into().expect("8")),
+            sum: f64::from_le_bytes(rec[8..16].try_into().expect("8")),
+            sum_sq: f64::from_le_bytes(rec[16..24].try_into().expect("8")),
+        })
+    }
+
+    /// Materializes the owned [`SnapshotPart`] (what
+    /// [`ldp_collector::MergedParts::merge`] consumes).
+    #[must_use]
+    pub fn to_part(&self) -> SnapshotPart {
+        SnapshotPart {
+            retained_base: self.retained_base,
+            slot_end: self.slot_end,
+            start: self.start,
+            slots: self.iter().collect(),
+            frozen: self.frozen,
+            total_reports: self.total_reports,
+            user_count: self.user_count,
+            user_mean_sum: self.user_mean_sum,
+        }
+    }
+}
+
 /// Borrowed decode of a metrics-snapshot payload ([`Frame::Metrics`]):
 /// the entry records still in wire form, fully validated at parse time
 /// (snapshot version, entry structure, UTF-8 names in strictly ascending
@@ -853,6 +1012,25 @@ pub enum FrameView<'a> {
     },
     /// [`Frame::Goodbye`].
     Goodbye,
+    /// [`Frame::Ping`].
+    Ping {
+        /// Opaque caller token, echoed verbatim in the pong.
+        nonce: u64,
+    },
+    /// [`Frame::Pong`].
+    Pong {
+        /// The nonce from the matching ping.
+        nonce: u64,
+    },
+    /// [`Frame::QueryParts`].
+    QueryParts {
+        /// First slot requested.
+        start: u64,
+        /// One past the last slot requested.
+        end: u64,
+    },
+    /// Borrowed [`Frame::Parts`].
+    Parts(PartsView<'a>),
 }
 
 impl<'a> FrameView<'a> {
@@ -940,6 +1118,13 @@ impl<'a> FrameView<'a> {
                 FrameView::Error { code, message }
             }
             FT_GOODBYE => FrameView::Goodbye,
+            FT_PING => FrameView::Ping { nonce: r.u64()? },
+            FT_PONG => FrameView::Pong { nonce: r.u64()? },
+            FT_QUERY_PARTS => FrameView::QueryParts {
+                start: r.u64()?,
+                end: r.u64()?,
+            },
+            FT_PARTS => return PartsView::parse(payload).map(FrameView::Parts),
             other => return Err(WireError::UnknownFrameType(other)),
         };
         r.finish()?;
@@ -982,6 +1167,10 @@ impl<'a> FrameView<'a> {
                 message: message.to_owned(),
             },
             FrameView::Goodbye => Frame::Goodbye,
+            FrameView::Ping { nonce } => Frame::Ping { nonce },
+            FrameView::Pong { nonce } => Frame::Pong { nonce },
+            FrameView::QueryParts { start, end } => Frame::QueryParts { start, end },
+            FrameView::Parts(view) => Frame::Parts(view.to_part()),
         }
     }
 }
@@ -1060,6 +1249,10 @@ impl Frame {
             Frame::Metrics(_) => FT_METRICS,
             Frame::Error { .. } => FT_ERROR,
             Frame::Goodbye => FT_GOODBYE,
+            Frame::Ping { .. } => FT_PING,
+            Frame::Pong { .. } => FT_PONG,
+            Frame::QueryParts { .. } => FT_QUERY_PARTS,
+            Frame::Parts(_) => FT_PARTS,
         }
     }
 
@@ -1178,6 +1371,36 @@ impl Frame {
                 buf.extend_from_slice(&len.to_le_bytes());
                 buf.extend_from_slice(message.as_bytes());
             }
+            Frame::Ping { nonce } | Frame::Pong { nonce } => {
+                buf.extend_from_slice(&nonce.to_le_bytes());
+            }
+            Frame::QueryParts { start, end } => {
+                buf.extend_from_slice(&start.to_le_bytes());
+                buf.extend_from_slice(&end.to_le_bytes());
+            }
+            Frame::Parts(p) => {
+                debug_assert!(
+                    p.start >= p.retained_base
+                        && p.start + p.slots.len() as u64 <= p.slot_end.max(p.start),
+                    "parts slot range inconsistent"
+                );
+                buf.extend_from_slice(&p.retained_base.to_le_bytes());
+                buf.extend_from_slice(&p.slot_end.to_le_bytes());
+                buf.extend_from_slice(&p.start.to_le_bytes());
+                let count = u32::try_from(p.slots.len()).expect("parts exceed u32::MAX slots");
+                buf.extend_from_slice(&count.to_le_bytes());
+                for s in &p.slots {
+                    buf.extend_from_slice(&s.count.to_le_bytes());
+                    buf.extend_from_slice(&s.sum.to_bits().to_le_bytes());
+                    buf.extend_from_slice(&s.sum_sq.to_bits().to_le_bytes());
+                }
+                buf.extend_from_slice(&p.frozen.count.to_le_bytes());
+                buf.extend_from_slice(&p.frozen.sum.to_bits().to_le_bytes());
+                buf.extend_from_slice(&p.frozen.sum_sq.to_bits().to_le_bytes());
+                buf.extend_from_slice(&p.total_reports.to_le_bytes());
+                buf.extend_from_slice(&p.user_count.to_le_bytes());
+                buf.extend_from_slice(&p.user_mean_sum.to_bits().to_le_bytes());
+            }
         }
     }
 
@@ -1194,6 +1417,26 @@ impl Frame {
                 batch.slots(),
                 batch.values(),
             );
+        });
+    }
+
+    /// Appends an ingest frame built from raw gathered columns — the
+    /// router's fan-out hot path: after partitioning an incoming frame's
+    /// rows by downstream it writes each sub-frame straight from its
+    /// gather buffers, no [`ReportBatch`] or [`Frame`] allocation.
+    /// Wire-identical to encoding `Frame::Ingest` with the same columns.
+    ///
+    /// # Panics
+    /// If the column lengths disagree.
+    pub fn encode_ingest_columns_into(
+        buf: &mut Vec<u8>,
+        rejected_upstream: u64,
+        users: &[u64],
+        slots: &[u64],
+        values: &[f64],
+    ) {
+        envelope(buf, FT_INGEST, |buf| {
+            write_ingest_payload(buf, rejected_upstream, users, slots, values);
         });
     }
 
@@ -1319,6 +1562,39 @@ mod tests {
                 message: "bad frame".into(),
             },
             Frame::Goodbye,
+            Frame::Ping { nonce: 0xDEAD_BEEF },
+            Frame::Pong { nonce: u64::MAX },
+            Frame::QueryParts {
+                start: 3,
+                end: u64::MAX,
+            },
+            Frame::Parts(SnapshotPart {
+                retained_base: 4,
+                slot_end: 9,
+                start: 6,
+                slots: vec![
+                    SlotStats {
+                        count: 3,
+                        sum: 1.5,
+                        sum_sq: 0.875,
+                    },
+                    SlotStats::default(),
+                    SlotStats {
+                        count: 1,
+                        sum: -0.25,
+                        sum_sq: 0.0625,
+                    },
+                ],
+                frozen: SlotStats {
+                    count: 40,
+                    sum: 20.0,
+                    sum_sq: 10.5,
+                },
+                total_reports: 44,
+                user_count: 7,
+                user_mean_sum: 3.25,
+            }),
+            Frame::Parts(SnapshotPart::default()),
         ];
         for frame in &frames {
             match frame {
@@ -1566,6 +1842,163 @@ mod tests {
         }
     }
 
+    fn frame_with_payload(frame_type: u8, payload: &[u8]) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(WIRE_VERSION);
+        bytes.push(frame_type);
+        bytes.extend_from_slice(&[0, 0]);
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&checksum(payload).to_le_bytes());
+        bytes.extend_from_slice(payload);
+        bytes
+    }
+
+    #[test]
+    fn hostile_parts_payloads_are_refused() {
+        // A record count that disagrees with the payload length (here:
+        // u32::MAX records in a scalar-only payload) must be refused by
+        // the cross-check, not by OOM.
+        let mut hostile_count = Vec::new();
+        for scalar in [0u64, 0, 0] {
+            hostile_count.extend_from_slice(&scalar.to_le_bytes());
+        }
+        hostile_count.extend_from_slice(&u32::MAX.to_le_bytes());
+        hostile_count.extend_from_slice(&[0u8; 48]);
+        assert!(matches!(
+            Frame::decode(
+                &frame_with_payload(FT_PARTS, &hostile_count),
+                DEFAULT_MAX_PAYLOAD
+            ),
+            Err(WireError::BadPayload(_))
+        ));
+
+        // Records starting below the owner's retained base are
+        // structurally inconsistent.
+        let mut below_base = Frame::Parts(SnapshotPart {
+            retained_base: 5,
+            slot_end: 7,
+            start: 5,
+            slots: vec![SlotStats::default()],
+            ..SnapshotPart::default()
+        })
+        .encode();
+        below_base[HEADER_LEN + 16..HEADER_LEN + 24].copy_from_slice(&2u64.to_le_bytes());
+        let sum = checksum(&below_base[HEADER_LEN..]);
+        below_base[12..16].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&below_base, DEFAULT_MAX_PAYLOAD),
+            Err(WireError::BadPayload("parts slot range inconsistent"))
+        ));
+
+        // Records running past the claimed slot_end are refused too.
+        let mut past_end = Frame::Parts(SnapshotPart {
+            retained_base: 0,
+            slot_end: 4,
+            start: 2,
+            slots: vec![SlotStats::default(); 2],
+            ..SnapshotPart::default()
+        })
+        .encode();
+        past_end[HEADER_LEN + 8..HEADER_LEN + 16].copy_from_slice(&3u64.to_le_bytes());
+        let sum = checksum(&past_end[HEADER_LEN..]);
+        past_end[12..16].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&past_end, DEFAULT_MAX_PAYLOAD),
+            Err(WireError::BadPayload("parts slot range inconsistent"))
+        ));
+
+        // Truncation anywhere in a valid parts frame is caught (by the
+        // checksum at the envelope level, or Truncated/BadPayload below).
+        let good = Frame::Parts(SnapshotPart {
+            retained_base: 1,
+            slot_end: 4,
+            start: 1,
+            slots: vec![
+                SlotStats {
+                    count: 2,
+                    sum: 0.5,
+                    sum_sq: 0.25,
+                },
+                SlotStats::default(),
+                SlotStats::default(),
+            ],
+            frozen: SlotStats {
+                count: 1,
+                sum: 0.125,
+                sum_sq: 0.015_625,
+            },
+            total_reports: 3,
+            user_count: 2,
+            user_mean_sum: 0.375,
+        })
+        .encode();
+        let payload = good[HEADER_LEN..].to_vec();
+        for cut in 0..payload.len() {
+            assert!(
+                FrameView::decode_body(FT_PARTS, &payload[..cut]).is_err(),
+                "cut at {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn ping_and_pong_payload_lengths_are_enforced() {
+        // A ping whose payload is not exactly one u64 must be refused.
+        assert!(matches!(
+            Frame::decode(&frame_with_payload(FT_PING, &[0; 7]), DEFAULT_MAX_PAYLOAD),
+            Err(WireError::Truncated)
+        ));
+        assert!(matches!(
+            Frame::decode(&frame_with_payload(FT_PONG, &[0; 9]), DEFAULT_MAX_PAYLOAD),
+            Err(WireError::BadPayload("trailing bytes after payload"))
+        ));
+    }
+
+    #[test]
+    fn borrowed_parts_view_iterates_and_materializes_identically() {
+        let part = SnapshotPart {
+            retained_base: 10,
+            slot_end: 14,
+            start: 11,
+            slots: vec![
+                SlotStats {
+                    count: 5,
+                    sum: 2.5,
+                    sum_sq: 1.5,
+                },
+                SlotStats {
+                    count: 0,
+                    sum: 0.0,
+                    sum_sq: 0.0,
+                },
+                SlotStats {
+                    count: 2,
+                    sum: -1.0,
+                    sum_sq: 0.5,
+                },
+            ],
+            frozen: SlotStats {
+                count: 100,
+                sum: 50.0,
+                sum_sq: 26.0,
+            },
+            total_reports: 107,
+            user_count: 9,
+            user_mean_sum: 4.5,
+        };
+        let bytes = Frame::Parts(part.clone()).encode();
+        let view = match FrameView::decode_body(FT_PARTS, &bytes[HEADER_LEN..]).unwrap() {
+            FrameView::Parts(v) => v,
+            other => panic!("wrong view {other:?}"),
+        };
+        assert_eq!(view.start(), 11);
+        assert_eq!(view.len(), 3);
+        assert!(!view.is_empty());
+        assert_eq!(view.iter().collect::<Vec<_>>(), part.slots);
+        assert_eq!(view.to_part(), part);
+    }
+
     #[test]
     fn truncated_header_is_rejected() {
         let bytes = Frame::IngestSync.encode();
@@ -1775,6 +2208,29 @@ mod tests {
                 bytes_in: start * 24,
                 bytes_out: len * 17,
             }));
+            round_trip(&Frame::Ping { nonce: start.wrapping_mul(len + 1) });
+            round_trip(&Frame::Pong { nonce: start ^ len });
+            round_trip(&Frame::QueryParts { start, end: start + len });
+            round_trip(&Frame::Parts(SnapshotPart {
+                retained_base: start,
+                slot_end: start + n_means as u64 + len,
+                start: start + len,
+                slots: (0..n_means)
+                    .map(|i| SlotStats {
+                        count: i as u64 % 5,
+                        sum: mean * i as f64,
+                        sum_sq: (mean * i as f64).abs(),
+                    })
+                    .collect(),
+                frozen: SlotStats {
+                    count: len,
+                    sum: mean * 3.0,
+                    sum_sq: mean.abs(),
+                },
+                total_reports: start + len,
+                user_count: len,
+                user_mean_sum: mean * len as f64,
+            }));
         }
 
         #[test]
@@ -1787,7 +2243,7 @@ mod tests {
 
         #[test]
         fn borrowed_and_owned_decode_agree_on_hostile_payloads(
-            frame_type_raw in 0u32..20,
+            frame_type_raw in 0u32..24,
             payload in proptest::collection::vec(any::<u8>(), 0..160),
             cut in 0usize..160,
         ) {

@@ -42,7 +42,51 @@ pub trait Strategy {
 
     /// Draws one value.
     fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f` (upstream's `prop_map`).
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { strategy: self, f }
+    }
 }
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (self.f)(self.strategy.generate(rng))
+    }
+}
+
+/// Tuples of strategies generate tuples of values (how upstream composes
+/// multi-field inputs for `prop_map`).
+macro_rules! tuple_strategy {
+    ($($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(S0.0, S1.1);
+tuple_strategy!(S0.0, S1.1, S2.2);
+tuple_strategy!(S0.0, S1.1, S2.2, S3.3);
+tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4);
+tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5);
+tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6);
+tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6, S7.7);
 
 impl Strategy for Range<f64> {
     type Value = f64;
@@ -290,6 +334,14 @@ mod tests {
         #[test]
         fn any_bool_generates(b in any::<bool>(), _x in 0.0..1.0f64) {
             let _ = b;
+        }
+
+        #[test]
+        fn tuples_and_prop_map_compose(
+            pair in (0u64..10, 0.0..1.0f64).prop_map(|(n, x)| (n * 2, x / 2.0)),
+        ) {
+            prop_assert!(pair.0 % 2 == 0 && pair.0 < 20);
+            prop_assert!((0.0..0.5).contains(&pair.1));
         }
     }
 

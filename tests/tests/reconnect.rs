@@ -1,0 +1,177 @@
+//! [`RemoteCollector`] reconnect-with-backoff: a client whose first
+//! connection is killed by the server transparently redials (bounded by
+//! [`ReconnectPolicy`]) and completes the operation; with the policy
+//! disabled the same drop is fatal. Pinned against a raw in-test
+//! listener so the test controls exactly which connections die.
+
+use ldp_server::wire::HEADER_LEN;
+use ldp_server::{Frame, Header, ReconnectPolicy, RemoteCollector};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A server that drops its first `drop_first` accepted connections on
+/// the floor, then answers transport verbs on the survivors.
+struct FlakyServer {
+    addr: SocketAddr,
+    accepted: Arc<AtomicUsize>,
+    closed: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl FlakyServer {
+    fn start(drop_first: usize) -> Self {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind flaky server");
+        let addr = listener.local_addr().expect("local addr");
+        let accepted = Arc::new(AtomicUsize::new(0));
+        let closed = Arc::new(AtomicBool::new(false));
+        let counter = Arc::clone(&accepted);
+        let stop = Arc::clone(&closed);
+        let join = std::thread::spawn(move || loop {
+            let Ok((stream, _)) = listener.accept() else {
+                return;
+            };
+            if stop.load(Ordering::SeqCst) {
+                return; // the Drop handshake, not a client
+            }
+            let n = counter.fetch_add(1, Ordering::SeqCst);
+            if n < drop_first {
+                drop(stream); // the flake: hang up before any frame
+                continue;
+            }
+            serve_one(stream);
+        });
+        Self {
+            addr,
+            accepted,
+            closed,
+            join: Some(join),
+        }
+    }
+
+    fn accepted(&self) -> usize {
+        self.accepted.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for FlakyServer {
+    fn drop(&mut self) {
+        // Unblock the accept loop so the thread can be joined.
+        self.closed.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+/// Minimal frame responder: Ping → Pong, Goodbye/EOF → done.
+fn serve_one(mut stream: TcpStream) {
+    let mut header = [0u8; HEADER_LEN];
+    loop {
+        if stream.read_exact(&mut header).is_err() {
+            return;
+        }
+        let parsed = match Header::parse(&header) {
+            Ok(parsed) => parsed,
+            Err(_) => return,
+        };
+        let mut payload = vec![0u8; parsed.payload_len as usize];
+        if stream.read_exact(&mut payload).is_err() || parsed.verify(&payload).is_err() {
+            return;
+        }
+        let reply = match Frame::decode_body(parsed.frame_type, &payload) {
+            Ok(Frame::Ping { nonce }) => Frame::Pong { nonce },
+            Ok(Frame::Goodbye) | Err(_) => return,
+            Ok(_) => Frame::Error {
+                code: ldp_server::wire::code::UNSUPPORTED,
+                message: "flaky test server only pongs".to_string(),
+            },
+        };
+        if stream.write_all(&reply.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+/// The satellite pin: the server kills the client's first connection,
+/// and the default policy rides it out — the ping succeeds on a fresh
+/// dial the client made by itself.
+#[test]
+fn client_survives_server_killing_first_connection() {
+    let server = FlakyServer::start(1);
+    // connect() itself succeeds — the TCP handshake completes before the
+    // server hangs up — so the flake surfaces on the first operation.
+    let mut client = RemoteCollector::connect_with(
+        server.addr,
+        ReconnectPolicy {
+            max_retries: 3,
+            initial_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(20),
+        },
+    )
+    .expect("initial connect");
+    client.ping().expect("ping survives a killed connection");
+    assert!(
+        server.accepted() >= 2,
+        "client must have redialed (saw {} connections)",
+        server.accepted()
+    );
+}
+
+/// With reconnection disabled the identical flake is fatal — the pre-v3
+/// behavior, preserved as an explicit opt-out.
+#[test]
+fn disabled_policy_makes_first_drop_fatal() {
+    let server = FlakyServer::start(1);
+    let mut client = RemoteCollector::connect_with(server.addr, ReconnectPolicy::none())
+        .expect("initial connect");
+    client.ping().expect_err("no-retry client must fail");
+    assert_eq!(server.accepted(), 1, "no redial without a policy");
+}
+
+/// A flake longer than the retry budget is also fatal: the backoff is
+/// bounded, not an infinite loop against a dead host.
+#[test]
+fn retry_budget_is_bounded() {
+    let server = FlakyServer::start(10);
+    let mut client = RemoteCollector::connect_with(
+        server.addr,
+        ReconnectPolicy {
+            max_retries: 2,
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(4),
+        },
+    )
+    .expect("initial connect");
+    client.ping().expect_err("budget exhausted must fail");
+    assert!(
+        server.accepted() <= 4,
+        "1 initial + at most 2 retries per op (saw {})",
+        server.accepted()
+    );
+}
+
+/// Backoff arithmetic: doubling from `initial` (attempts are 1-based),
+/// capped at `max`.
+#[test]
+fn backoff_doubles_and_caps() {
+    let policy = ReconnectPolicy {
+        max_retries: 8,
+        initial_backoff: Duration::from_millis(10),
+        max_backoff: Duration::from_millis(200),
+    };
+    assert_eq!(policy.backoff(1), Duration::from_millis(10));
+    assert_eq!(policy.backoff(2), Duration::from_millis(20));
+    assert_eq!(policy.backoff(3), Duration::from_millis(40));
+    assert_eq!(policy.backoff(5), Duration::from_millis(160));
+    assert_eq!(policy.backoff(6), Duration::from_millis(200), "capped");
+    assert_eq!(
+        policy.backoff(63),
+        Duration::from_millis(200),
+        "cap survives shift overflow"
+    );
+}

@@ -23,7 +23,7 @@ repo_root="$(cd -- "$(dirname -- "$0")/.." && pwd)"
 cd "$repo_root" || exit 1
 
 # Scanned trees: the crates whose concurrency the checker exercises.
-scan_dirs=(crates/collector/src crates/server/src)
+scan_dirs=(crates/collector/src crates/server/src crates/router/src)
 
 # The facade itself is the one place allowed to name std's primitives.
 allowlist='crates/collector/src/sync\.rs$'
