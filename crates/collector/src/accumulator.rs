@@ -208,6 +208,36 @@ impl UserTable {
         e.mean - old_mean
     }
 
+    /// Checkpoint-restore insert: seeds a user's full running stats in one
+    /// shot. The cached mean is recomputed as `sum / count` — exactly the
+    /// value the ingest path left cached, since it maintains the same
+    /// invariant after every fold — so restored state is bit-identical.
+    pub(crate) fn insert_stats(&mut self, user: u64, count: u64, sum: f64) {
+        debug_assert!(count > 0, "restored user must have reported");
+        if self.len * 8 >= self.entries.len() * 7 {
+            self.grow();
+        }
+        let mask = self.entries.len() - 1;
+        let mut i = Self::slot_of(user, self.entries.len());
+        loop {
+            let e = &self.entries[i];
+            if e.count == 0 || e.user == user {
+                break;
+            }
+            i = (i + 1) & mask;
+        }
+        let e = &mut self.entries[i];
+        if e.count == 0 {
+            self.len += 1;
+        }
+        *e = UserEntry {
+            user,
+            count,
+            sum,
+            mean: sum / count as f64,
+        };
+    }
+
     /// Doubles the slot array (from 16) and re-inserts every entry.
     fn grow(&mut self) {
         let new_len = (self.entries.len() * 2).max(16);
@@ -302,6 +332,37 @@ impl ShardAccumulator {
         Self {
             retention: retention.limit(),
             ..Self::default()
+        }
+    }
+
+    /// Checkpoint-restore constructor: rebuilds a shard from its
+    /// serialized parts (see `crate::checkpoint`). `users` yields
+    /// `(user, count, sum)` triples; the cached per-user means and the
+    /// incremental `mean_sum` are restored bit-exactly (the stored
+    /// `mean_sum` is the pre-crash scalar, and every cached mean is
+    /// `sum / count`, the invariant the fold path maintains).
+    pub(crate) fn restore(
+        retention: SlotRetention,
+        base: u64,
+        slots: VecDeque<SlotStats>,
+        frozen: SlotStats,
+        mean_sum: f64,
+        reports: u64,
+        users: impl IntoIterator<Item = (u64, u64, f64)>,
+    ) -> Self {
+        retention.validate();
+        let mut table = UserTable::default();
+        for (user, count, sum) in users {
+            table.insert_stats(user, count, sum);
+        }
+        Self {
+            base,
+            slots,
+            retention: retention.limit(),
+            frozen,
+            users: table,
+            mean_sum,
+            reports,
         }
     }
 

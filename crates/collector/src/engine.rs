@@ -657,6 +657,45 @@ impl Collector {
         self.metrics.rejected_upstream.add(n);
     }
 
+    /// Checkpoint support: the five global book counters in serialization
+    /// order `(accepted, dropped, rejected, rejected_upstream, batches)`.
+    pub(crate) fn book_counters(&self) -> [u64; 5] {
+        [
+            self.metrics.accepted.get(),
+            self.metrics.dropped.get(),
+            self.metrics.rejected.get(),
+            self.metrics.rejected_upstream.get(),
+            self.metrics.batches.get(),
+        ]
+    }
+
+    /// Checkpoint support: shard `shard`'s batch book counter.
+    pub(crate) fn shard_batches_count(&self, shard: usize) -> u64 {
+        self.metrics.shard_batches[shard].get()
+    }
+
+    /// Checkpoint support: re-seed the book counters of a fresh collector
+    /// from checkpointed values (the counters are monotone and start at
+    /// zero, so an `add` restores them exactly). Also advances each shard's
+    /// epoch so cached query views never mistake restored state for empty.
+    pub(crate) fn restore_books(&self, books: [u64; 5], shard_batches: &[u64]) {
+        let [accepted, dropped, rejected, rejected_upstream, batches] = books;
+        self.metrics.accepted.add(accepted);
+        self.metrics.dropped.add(dropped);
+        self.metrics.rejected.add(rejected);
+        self.metrics.rejected_upstream.add(rejected_upstream);
+        self.metrics.batches.add(batches);
+        for (shard, &count) in shard_batches.iter().enumerate() {
+            self.metrics.shard_batches[shard].add(count);
+            self.shards[shard].epoch.fetch_add(1, Ordering::Release);
+        }
+    }
+
+    /// Checkpoint support: replace shard `shard`'s accumulator wholesale.
+    pub(crate) fn restore_shard(&self, shard: usize, acc: ShardAccumulator) {
+        *self.lock_shard(shard) = acc;
+    }
+
     /// `(user id, report count, value sum)` rows for every user, sorted
     /// by id — the crowd-distribution extraction. Locks each shard in
     /// turn (briefly: one row copy per user), so this is the *heavy*

@@ -77,6 +77,7 @@
 //! ```
 
 pub mod accumulator;
+pub mod checkpoint;
 pub mod engine;
 pub mod fleet;
 mod pool;
@@ -86,6 +87,7 @@ pub mod snapshot;
 pub mod sync;
 
 pub use accumulator::{ShardAccumulator, SlotRetention, SlotStats, UserStats};
+pub use checkpoint::CheckpointError;
 pub use engine::{
     default_ingest_workers, default_parallelism, Collector, CollectorConfig, IngestOutcome,
     DEFAULT_PARALLEL_FOLD_MIN,

@@ -825,6 +825,9 @@ fn fanout(links: &[LinkHandle], frame: &Frame) -> Vec<Option<Frame>> {
 /// error frame (e.g. a range beyond that server's bound), or a
 /// [`code::DEGRADED`] error if any link failed — a partial federation
 /// answer would be silently wrong, so it is refused instead.
+// The Err variant is a full Frame by design (it is written to the wire
+// verbatim) and only materializes on the cold degraded path.
+#[allow(clippy::result_large_err)]
 fn merged_query(links: &[LinkHandle], query: &Frame) -> Result<MergedParts, Frame> {
     let replies = fanout(links, query);
     let n = replies.len();
@@ -870,6 +873,17 @@ fn merged_stats(shared: &Shared, links: &[LinkHandle]) -> Frame {
                 sum.upstream_rejected_reports = sum
                     .upstream_rejected_reports
                     .saturating_add(stats.upstream_rejected_reports);
+                // Durability books are per-downstream-WAL; the merged view
+                // is their federation-wide total.
+                sum.wal_appended_records = sum
+                    .wal_appended_records
+                    .saturating_add(stats.wal_appended_records);
+                sum.wal_appended_bytes = sum
+                    .wal_appended_bytes
+                    .saturating_add(stats.wal_appended_bytes);
+                sum.wal_recovered_records = sum
+                    .wal_recovered_records
+                    .saturating_add(stats.wal_recovered_records);
             }
             Some(_) | None => failed += 1,
         }
@@ -1047,6 +1061,10 @@ impl Link<'_> {
             }
             Err(_) => {
                 // These rows are gone: count them and taint the ledger.
+                // TODO(ROADMAP "Federation follow-ons"): spool these
+                // frames to a router-side WAL (`ldp-wal` now exists for
+                // exactly this record shape) and drain on reconnect,
+                // instead of counted-and-dropped.
                 self.tainted = true;
                 self.metrics.lost_frames.inc();
                 self.metrics.lost_rows.add(rows);

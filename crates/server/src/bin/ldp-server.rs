@@ -10,21 +10,41 @@
 //! ```text
 //! ldp-server [--bind ADDR] [--shards N] [--max-slots N]
 //!            [--retention R] [--workers N] [--max-connections N]
+//!            [--data-dir DIR] [--wal-segment-bytes N]
 //! ```
 //!
 //! `--retention 0` (the default) keeps every slot; `R > 0` bounds each
 //! shard to its most recent `R` slots.
+//!
+//! `--data-dir DIR` makes the server **durable**: every accepted ingest
+//! frame is appended to a write-ahead log under `DIR` before folding, and
+//! on start the previous state is recovered — checkpoint restore plus
+//! record replay — before the socket binds. A recovering server prints a
+//! second stdout line before `LISTENING`:
+//!
+//! ```text
+//! RECOVERED records=<n> rows=<n> clean=<true|false>
+//! ```
+//!
+//! The flush cadence comes from `LDP_WAL_FLUSH` (`barrier` — the default,
+//! fsync at each IngestSync — or `batched:<nanos>` for periodic group
+//! commit on top of barrier fsyncs). Clean shutdown (stdin EOF) seals the
+//! log so the next boot replays zero records; a crash replays the
+//! `fsync`ed tail.
 
 use ldp_collector::{Collector, CollectorConfig, SlotRetention};
+use ldp_server::durable::{self, FlushPolicy, WalConfig};
 use ldp_server::{Server, ServerConfig};
 use std::io::{Read, Write};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: ldp-server [--bind ADDR] [--shards N] [--max-slots N] \
-         [--retention R] [--workers N] [--max-connections N]"
+         [--retention R] [--workers N] [--max-connections N] \
+         [--data-dir DIR] [--wal-segment-bytes N]"
     );
     ExitCode::from(2)
 }
@@ -33,6 +53,8 @@ fn main() -> ExitCode {
     let mut bind = String::from("127.0.0.1:0");
     let mut collector_config = CollectorConfig::default();
     let mut server_config = ServerConfig::default();
+    let mut data_dir: Option<PathBuf> = None;
+    let mut wal_segment_bytes: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -42,6 +64,10 @@ fn main() -> ExitCode {
         let parsed = match flag.as_str() {
             "--bind" => {
                 bind = value;
+                continue;
+            }
+            "--data-dir" => {
+                data_dir = Some(PathBuf::from(value));
                 continue;
             }
             "--shards" => value.parse().map(|v| collector_config.shards = v),
@@ -55,6 +81,7 @@ fn main() -> ExitCode {
             }),
             "--workers" => value.parse().map(|v| collector_config.ingest_workers = v),
             "--max-connections" => value.parse().map(|v| server_config.max_connections = v),
+            "--wal-segment-bytes" => value.parse().map(|v| wal_segment_bytes = Some(v)),
             _ => return usage(),
         };
         if parsed.is_err() {
@@ -62,8 +89,31 @@ fn main() -> ExitCode {
         }
     }
 
-    let collector = Arc::new(Collector::new(collector_config));
-    let server = match Server::bind_addr(collector, bind.as_str(), server_config) {
+    let server = if let Some(dir) = data_dir {
+        let mut wal_config = WalConfig::new(&dir).flush(FlushPolicy::from_env());
+        if let Some(bytes) = wal_segment_bytes {
+            wal_config = wal_config.segment_bytes(bytes);
+        }
+        let (collector, durability, report) = match durable::recover(collector_config, wal_config) {
+            Ok(recovered) => recovered,
+            Err(e) => {
+                eprintln!("ldp-server: recover {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        // The parent (or operator) reads this line to learn how much the
+        // log replayed; printed before LISTENING so a harness waiting for
+        // the address also sees the recovery story.
+        println!(
+            "RECOVERED records={} rows={} clean={}",
+            report.replayed_records, report.replayed_rows, report.clean
+        );
+        Server::bind_addr_durable(collector, durability, bind.as_str(), server_config)
+    } else {
+        let collector = Arc::new(Collector::new(collector_config));
+        Server::bind_addr(collector, bind.as_str(), server_config)
+    };
+    let server = match server {
         Ok(server) => server,
         Err(e) => {
             eprintln!("ldp-server: bind {bind}: {e}");
@@ -80,6 +130,6 @@ fn main() -> ExitCode {
     let mut sink = [0u8; 256];
     let mut stdin = std::io::stdin().lock();
     while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
-    drop(server); // graceful shutdown: joins accept/refresher/conn threads
+    drop(server); // graceful shutdown: joins threads, then seals the WAL
     ExitCode::SUCCESS
 }

@@ -76,6 +76,35 @@ impl ReconnectPolicy {
     }
 }
 
+/// Pipelined ingest frames that died with a connection: written to a
+/// socket that failed before an [`RemoteCollector::sync`] acknowledged
+/// them. A reconnect gets a fresh server-side ledger, so these frames are
+/// unaccounted for — possibly folded by the server, possibly not — and
+/// the next `sync` surfaces this as a typed error instead of silently
+/// acking only what the new connection carried.
+///
+/// Recover the value from the `io::Error` with
+/// `e.get_ref().and_then(|e| e.downcast_ref::<IngestLoss>())`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestLoss {
+    /// Ingest frames written but unacknowledged when the connection died.
+    pub lost_frames: u64,
+    /// Reports those frames carried.
+    pub lost_rows: u64,
+}
+
+impl std::fmt::Display for IngestLoss {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "connection died with {} unacknowledged ingest frame(s) ({} report(s)) in flight",
+            self.lost_frames, self.lost_rows
+        )
+    }
+}
+
+impl std::error::Error for IngestLoss {}
+
 /// Whether an I/O error is a transient *transport* failure worth a
 /// reconnect. Server-reported error frames (mapped to refused / invalid
 /// input / invalid data kinds) are never transient: the connection is
@@ -109,6 +138,19 @@ pub struct RemoteCollector {
     /// either the upload or the reply path.
     payload: Vec<u8>,
     max_payload: u32,
+    /// Ingest frames written on the current connection but not yet
+    /// covered by a sync ack (and the reports they carried).
+    pending_frames: u64,
+    /// See [`Self::pending_frames`].
+    pending_rows: u64,
+    /// Loss from a mid-stream connection death, not yet surfaced to the
+    /// caller; the next [`Self::sync`] returns it as a typed error.
+    unreported: Option<IngestLoss>,
+    /// Cumulative frames lost to connection deaths over this handle's
+    /// lifetime (see [`Self::lost_frames`]).
+    lost_frames: u64,
+    /// See [`Self::lost_frames`].
+    lost_rows: u64,
 }
 
 impl RemoteCollector {
@@ -152,6 +194,11 @@ impl RemoteCollector {
             out: Vec::with_capacity(4096),
             payload: Vec::new(),
             max_payload: DEFAULT_MAX_PAYLOAD,
+            pending_frames: 0,
+            pending_rows: 0,
+            unreported: None,
+            lost_frames: 0,
+            lost_rows: 0,
         })
     }
 
@@ -188,6 +235,11 @@ impl RemoteCollector {
                 Err(e) if is_transient(&e) => e,
                 Err(e) => return Err(e),
             };
+            // The connection is dead either way: any pipelined ingest
+            // frames it carried are now unaccounted for. Book the loss
+            // before deciding whether to retry, so it is surfaced even
+            // when retries are exhausted.
+            self.note_connection_loss();
             if attempt >= self.reconnect.max_retries {
                 return Err(err);
             }
@@ -197,6 +249,39 @@ impl RemoteCollector {
                 self.stream = stream;
             }
         }
+    }
+
+    /// Books pipelined-but-unacked ingest frames as lost when the
+    /// connection dies. Folded into `unreported` (surfaced by the next
+    /// [`Self::sync`]) and the handle's cumulative loss counters.
+    fn note_connection_loss(&mut self) {
+        if self.pending_frames == 0 {
+            return;
+        }
+        let loss = self.unreported.get_or_insert(IngestLoss {
+            lost_frames: 0,
+            lost_rows: 0,
+        });
+        loss.lost_frames += self.pending_frames;
+        loss.lost_rows += self.pending_rows;
+        self.lost_frames += self.pending_frames;
+        self.lost_rows += self.pending_rows;
+        self.pending_frames = 0;
+        self.pending_rows = 0;
+    }
+
+    /// Cumulative ingest frames lost to connection deaths over this
+    /// handle's lifetime (whether or not the loss error has been
+    /// observed yet).
+    #[must_use]
+    pub fn lost_frames(&self) -> u64 {
+        self.lost_frames
+    }
+
+    /// Reports the [`Self::lost_frames`] frames carried.
+    #[must_use]
+    pub fn lost_rows(&self) -> u64 {
+        self.lost_rows
     }
 
     /// Uploads one batch (fire-and-forget; pair with [`Self::sync`] for
@@ -210,7 +295,11 @@ impl RemoteCollector {
         // Encode straight from the batch columns — no intermediate
         // column clones on the hot path.
         Frame::encode_ingest_into(batch, &mut self.out);
-        self.with_reconnect(|this| this.stream.write_all(&this.out))
+        self.with_reconnect(|this| this.stream.write_all(&this.out))?;
+        // Written, not yet acked: at risk until the next sync barrier.
+        self.pending_frames += 1;
+        self.pending_rows += batch.len() as u64;
+        Ok(())
     }
 
     /// Barrier: waits until the server has ingested everything sent on
@@ -220,18 +309,40 @@ impl RemoteCollector {
     /// forwarded on the ingest frames).
     ///
     /// # Errors
-    /// Transport errors, or a server-reported error frame.
+    /// Transport errors, a server-reported error frame, or an
+    /// [`IngestLoss`]: if a connection died with pipelined ingest frames
+    /// unacknowledged since the last sync, the first `sync` after the
+    /// loss returns it as an `io::Error` (downcast the inner error to
+    /// [`IngestLoss`] for the counts) instead of silently acknowledging
+    /// only what the replacement connection carried. A subsequent `sync`
+    /// proceeds normally against the current connection's ledger.
     pub fn sync(&mut self) -> std::io::Result<IngestOutcome> {
-        match self.request(&Frame::IngestSync)? {
+        if let Some(loss) = self.unreported.take() {
+            return Err(std::io::Error::other(loss));
+        }
+        let reply = self.request(&Frame::IngestSync);
+        if let Some(loss) = self.unreported.take() {
+            // The connection died mid-sync and the barrier was retried on
+            // a fresh ledger — its ack does not cover the lost frames, so
+            // the loss outranks it.
+            return Err(std::io::Error::other(loss));
+        }
+        match reply? {
             Frame::IngestAck {
                 accepted,
                 dropped,
                 rejected,
-            } => Ok(IngestOutcome {
-                accepted,
-                dropped,
-                rejected,
-            }),
+            } => {
+                // Everything pipelined before the barrier is now covered
+                // by the ack — no longer at risk.
+                self.pending_frames = 0;
+                self.pending_rows = 0;
+                Ok(IngestOutcome {
+                    accepted,
+                    dropped,
+                    rejected,
+                })
+            }
             other => Err(unexpected_reply(&other)),
         }
     }

@@ -22,6 +22,10 @@
 //! * [`client`] — [`RemoteCollector`]: the same batch-ingest surface the
 //!   fleet drives in-process, over one connection; and
 //!   [`drive_fleet_remote`], the fleet's remote mode.
+//! * [`durable`] — crash durability: a write-ahead ingest log
+//!   ([`ldp_wal`]) appended before every fold, fsynced before every ack,
+//!   and replayed at boot ([`durable::recover`]) to the exact pre-crash
+//!   state — snapshots, ledger tallies, and telemetry books included.
 //!
 //! Everything is `std`-only: no async runtime, no serialization
 //! framework — one thread per connection and hand-rolled little-endian
@@ -60,10 +64,14 @@
 #![forbid(unsafe_code)]
 
 pub mod client;
+pub mod durable;
 pub mod serve;
 pub mod wire;
 
-pub use client::{drive_fleet_loopback, drive_fleet_remote, ReconnectPolicy, RemoteCollector};
+pub use client::{
+    drive_fleet_loopback, drive_fleet_remote, IngestLoss, ReconnectPolicy, RemoteCollector,
+};
+pub use durable::{recover, Durability, FlushPolicy, RecoveryReport, WalConfig};
 pub use serve::{read_full, ReadOutcome, Server, ServerConfig};
 pub use wire::{
     checksum, frame_type_name, Frame, FrameView, Header, IngestScratch, IngestView, MetricsView,

@@ -40,7 +40,15 @@
 //! * Shutdown is graceful: [`Server::shutdown`] flips a flag; the accept
 //!   loop and every connection thread observe it within one poll
 //!   interval, finish their in-flight frame, and join.
+//! * A server bound with [`Server::bind_addr_durable`] logs every
+//!   accepted ingest frame to a write-ahead log before folding it
+//!   ([`crate::durable`]): an `IngestAck` only travels after the covered
+//!   bytes are `fsync`ed, and a frame the log refuses is answered with
+//!   [`code::UNAVAILABLE`] and closes the connection (fail-closed — no
+//!   ack can ever cover an unlogged fold). Clean shutdown checkpoints and
+//!   seals the log so the next boot replays zero records.
 
+use crate::durable::Durability;
 use crate::wire::{
     code, frame_type_name, Frame, FrameView, Header, IngestScratch, StatsBody, SummaryBody,
     WireError, HEADER_LEN, KNOWN_FRAME_TYPES,
@@ -179,6 +187,9 @@ struct Shared {
     metrics: ServerMetrics,
     shutdown: AtomicBool,
     config: ServerConfig,
+    /// Present on durable servers: the write-ahead log every accepted
+    /// ingest frame is appended to before folding.
+    durability: Option<Arc<Durability>>,
 }
 
 impl Shared {
@@ -189,6 +200,15 @@ impl Shared {
     fn stats_body(&self) -> StatsBody {
         let c = self.collector();
         let m = &self.metrics;
+        let (wal_appended_records, wal_appended_bytes, wal_recovered_records) =
+            match &self.durability {
+                Some(d) => (
+                    d.appended_records(),
+                    d.appended_bytes(),
+                    d.recovered_records(),
+                ),
+                None => (0, 0, 0),
+            };
         StatsBody {
             accepted_reports: c.total_reports(),
             dropped_reports: c.dropped_reports(),
@@ -203,6 +223,9 @@ impl Shared {
             ingest_frames: m.ingest_frames.get(),
             bytes_in: m.bytes_in.get(),
             bytes_out: m.bytes_out.get(),
+            wal_appended_records,
+            wal_appended_bytes,
+            wal_recovered_records,
         }
     }
 }
@@ -236,6 +259,18 @@ impl Server {
         Self::bind_addr(collector, ("127.0.0.1", 0), config)
     }
 
+    /// [`Self::bind_addr_durable`] on an ephemeral loopback port.
+    ///
+    /// # Errors
+    /// Socket errors from bind/listen.
+    pub fn bind_durable(
+        collector: Arc<Collector>,
+        durability: Arc<Durability>,
+        config: ServerConfig,
+    ) -> std::io::Result<Self> {
+        Self::bind_addr_durable(collector, durability, ("127.0.0.1", 0), config)
+    }
+
     /// Binds to `addr` and starts serving `collector`: spawns the accept
     /// loop and the paced view refresher.
     ///
@@ -243,6 +278,33 @@ impl Server {
     /// Socket errors from bind/listen.
     pub fn bind_addr<A: ToSocketAddrs>(
         collector: Arc<Collector>,
+        addr: A,
+        config: ServerConfig,
+    ) -> std::io::Result<Self> {
+        Self::bind_addr_inner(collector, None, addr, config)
+    }
+
+    /// Binds a **durable** server: like [`Self::bind_addr`], but every
+    /// accepted ingest frame is appended to `durability`'s write-ahead
+    /// log before folding, `IngestSync` fsyncs before acking, and
+    /// [`Self::shutdown`] checkpoints + seals the log. Build the pair
+    /// with [`crate::durable::recover`] — the collector must be the one
+    /// recovery produced, so the log and the in-memory state agree.
+    ///
+    /// # Errors
+    /// Socket errors from bind/listen.
+    pub fn bind_addr_durable<A: ToSocketAddrs>(
+        collector: Arc<Collector>,
+        durability: Arc<Durability>,
+        addr: A,
+        config: ServerConfig,
+    ) -> std::io::Result<Self> {
+        Self::bind_addr_inner(collector, Some(durability), addr, config)
+    }
+
+    fn bind_addr_inner<A: ToSocketAddrs>(
+        collector: Arc<Collector>,
+        durability: Option<Arc<Durability>>,
         addr: A,
         config: ServerConfig,
     ) -> std::io::Result<Self> {
@@ -255,6 +317,7 @@ impl Server {
             metrics,
             shutdown: AtomicBool::new(false),
             config,
+            durability,
         });
 
         let accept = {
@@ -311,15 +374,21 @@ impl Server {
     }
 
     /// Graceful shutdown: stops accepting, lets every connection thread
-    /// finish its in-flight frame, and joins all service threads. Called
-    /// automatically on drop; idempotent.
+    /// finish its in-flight frame, and joins all service threads. On a
+    /// durable server this then checkpoints and seals the write-ahead
+    /// log — the accept loop has joined every connection thread by now,
+    /// so the seal covers every accepted frame and the next boot replays
+    /// zero records. Called automatically on drop; idempotent.
     pub fn shutdown(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
-        if let Some(h) = self.accept.take() {
-            let _ = h.join();
-        }
+        let first = self.accept.take().map(|h| h.join()).is_some();
         if let Some(h) = self.refresher.take() {
             let _ = h.join();
+        }
+        if first {
+            if let Some(d) = &self.shared.durability {
+                d.seal(&self.collector);
+            }
         }
     }
 }
@@ -505,8 +574,11 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
         if payload_buf.len() < payload_len {
             payload_buf.resize(payload_len, 0);
         }
-        let payload = &mut payload_buf[..payload_len];
-        match read_full(&mut stream, payload, &shared.shutdown) {
+        match read_full(
+            &mut stream,
+            &mut payload_buf[..payload_len],
+            &shared.shutdown,
+        ) {
             ReadOutcome::Full => {}
             ReadOutcome::Eof | ReadOutcome::TruncatedEof => {
                 shared.metrics.frames_failed.inc();
@@ -514,6 +586,9 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
             }
             ReadOutcome::Shutdown | ReadOutcome::Failed => return,
         }
+        // Shared reborrow: the borrowed `FrameView` and (on durable
+        // servers) the WAL append both read these same bytes.
+        let payload = &payload_buf[..payload_len];
         shared
             .metrics
             .bytes_in
@@ -537,10 +612,25 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
             FrameView::Ingest(ingest) => {
                 shared.metrics.ingest_frames.inc();
                 let rejected_upstream = ingest.rejected_upstream();
-                let columns = ingest.columns(&mut scratch);
-                let collector = shared.collector();
-                collector.note_upstream_rejections(rejected_upstream);
-                let outcome = collector.ingest_outcome(&columns);
+                let outcome = if let Some(d) = &shared.durability {
+                    // Durable path: append the raw frame payload to the
+                    // WAL, then fold (the append reuses these borrowed
+                    // bytes — no re-encode, no copy beyond the log's own
+                    // buffer). A frame the log refuses is NOT folded and
+                    // closes the connection, so no later ack can cover it.
+                    match d.ingest_frame(shared.collector(), payload, &mut scratch) {
+                        Ok(outcome) => outcome,
+                        Err(e) => {
+                            fail_unavailable(shared, &mut stream, &e);
+                            return;
+                        }
+                    }
+                } else {
+                    let columns = ingest.columns(&mut scratch);
+                    let collector = shared.collector();
+                    collector.note_upstream_rejections(rejected_upstream);
+                    collector.ingest_outcome(&columns)
+                };
                 // Saturating: `rejected_upstream` is client-controlled, so
                 // a hostile u64::MAX must pin the ledger at the ceiling,
                 // not panic (debug) or wrap to garbage (release).
@@ -550,13 +640,31 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
                     .rejected
                     .saturating_add(outcome.rejected)
                     .saturating_add(rejected_upstream);
+                if let Some(d) = &shared.durability {
+                    // Retention: roll a checkpoint once enough segments
+                    // have closed. An error is counted (`wal.failures`)
+                    // but not fatal — nothing acked is at risk, the data
+                    // is already in the log.
+                    let _ = d.maybe_checkpoint(shared.collector());
+                }
                 None // fire-and-forget
             }
-            FrameView::IngestSync => Some(Frame::IngestAck {
-                accepted: ledger.accepted,
-                dropped: ledger.dropped,
-                rejected: ledger.rejected,
-            }),
+            FrameView::IngestSync => {
+                if let Some(d) = &shared.durability {
+                    // The ack is a durable promise: fsync everything the
+                    // ledger covers first, and refuse to ack (fail-closed,
+                    // connection closes) if the barrier fails.
+                    if let Err(e) = d.barrier() {
+                        fail_unavailable(shared, &mut stream, &e);
+                        return;
+                    }
+                }
+                Some(Frame::IngestAck {
+                    accepted: ledger.accepted,
+                    dropped: ledger.dropped,
+                    rejected: ledger.rejected,
+                })
+            }
             FrameView::QueryPopulationMean => {
                 let _t = shared.metrics.query_population_mean_nanos.timer();
                 shared.metrics.queries_answered.inc();
@@ -683,6 +791,21 @@ fn bad_query(message: &str) -> Frame {
     Frame::Error {
         code: code::BAD_QUERY,
         message: message.into(),
+    }
+}
+
+/// Counts a durability failure and sends a best-effort
+/// [`code::UNAVAILABLE`] error frame; the caller closes the connection so
+/// no later ack can cover the refused frame (fail-closed).
+fn fail_unavailable(shared: &Shared, stream: &mut TcpStream, error: &std::io::Error) {
+    shared.metrics.frames_failed.inc();
+    let frame = Frame::Error {
+        code: code::UNAVAILABLE,
+        message: format!("durability failure: {error}"),
+    };
+    let bytes = frame.encode();
+    if stream.write_all(&bytes).is_ok() {
+        shared.metrics.bytes_out.add(bytes.len() as u64);
     }
 }
 

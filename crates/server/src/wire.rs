@@ -62,8 +62,11 @@ pub const MAGIC: [u8; 4] = *b"LDPW";
 /// [`Frame::QueryParts`] / [`Frame::Parts`] federation-merge family, and
 /// the [`code::DEGRADED`] error code, so a v3 federation tier never
 /// half-speaks to a v2 peer that would soft-fail its health checks with
-/// `Error { UNSUPPORTED }`.
-pub const WIRE_VERSION: u8 = 3;
+/// `Error { UNSUPPORTED }`; v4 appended the durability tallies to
+/// [`StatsBody`] (WAL appended records/bytes and recovered records) and
+/// added the [`code::UNAVAILABLE`] error code for write-ahead-log
+/// failures that force a durable server to refuse an ingest.
+pub const WIRE_VERSION: u8 = 4;
 /// Version byte of the metrics-snapshot payload carried by
 /// [`Frame::Metrics`] — versioned independently of the envelope so the
 /// snapshot layout can evolve without a protocol-wide bump.
@@ -90,6 +93,11 @@ pub mod code {
     /// A federation tier could not reach every downstream it needs for
     /// an exact answer; the healthy subset is still being served.
     pub const DEGRADED: u16 = 5;
+    /// A durable server could not persist an ingest frame to its
+    /// write-ahead log; the frame was **not** folded (fail-closed — an
+    /// unlogged fold would be silently lost on crash) and the connection
+    /// closes so the client's ledger stays truthful.
+    pub const UNAVAILABLE: u16 = 6;
 }
 
 /// Everything that can go wrong turning bytes into a [`Frame`].
@@ -292,6 +300,14 @@ pub struct StatsBody {
     pub bytes_in: u64,
     /// Payload + header bytes written to clients.
     pub bytes_out: u64,
+    // --- appended in wire version 4 (older fields keep their offsets) ---
+    /// Ingest records appended to the write-ahead log (0 when the server
+    /// runs without durability).
+    pub wal_appended_records: u64,
+    /// Encoded bytes appended to the write-ahead log.
+    pub wal_appended_bytes: u64,
+    /// Ingest records replayed from the log at the last recovery.
+    pub wal_recovered_records: u64,
 }
 
 /// One protocol message. Client→server frames are `Ingest`, `IngestSync`,
@@ -1106,6 +1122,9 @@ impl<'a> FrameView<'a> {
                 ingest_frames: r.u64()?,
                 bytes_in: r.u64()?,
                 bytes_out: r.u64()?,
+                wal_appended_records: r.u64()?,
+                wal_appended_bytes: r.u64()?,
+                wal_recovered_records: r.u64()?,
             }),
             FT_QUERY_METRICS => FrameView::QueryMetrics,
             FT_METRICS => return MetricsView::parse(payload).map(FrameView::Metrics),
@@ -1330,6 +1349,9 @@ impl Frame {
                     s.ingest_frames,
                     s.bytes_in,
                     s.bytes_out,
+                    s.wal_appended_records,
+                    s.wal_appended_bytes,
+                    s.wal_recovered_records,
                 ] {
                     buf.extend_from_slice(&v.to_le_bytes());
                 }
@@ -2207,6 +2229,9 @@ mod tests {
                 ingest_frames: start / 7,
                 bytes_in: start * 24,
                 bytes_out: len * 17,
+                wal_appended_records: start / 5,
+                wal_appended_bytes: start * 31,
+                wal_recovered_records: len / 2,
             }));
             round_trip(&Frame::Ping { nonce: start.wrapping_mul(len + 1) });
             round_trip(&Frame::Pong { nonce: start ^ len });

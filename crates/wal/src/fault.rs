@@ -1,0 +1,103 @@
+//! Crash-point fault injection.
+//!
+//! Every durability-relevant step in [`crate::Wal`] — buffering an append,
+//! pushing buffered bytes to the kernel, `fsync`, checkpoint write/rename/
+//! prune, seal — calls [`hit`] with a [`CrashPoint`] before doing the work.
+//! When a test has installed a hook and armed the switch, the hook decides
+//! whether the process "dies here": returning `true` makes the log mark
+//! itself dead and fail the operation with [`crate::WalError::Dead`],
+//! modeling a kill at that instruction.
+//!
+//! Under `ldp-check`, the hook body typically loads an *instrumented* atomic
+//! (a scheduling decision), so the deterministic scheduler explores every
+//! kill-here placement. The plumbing here is deliberately uninstrumented std
+//! (`AtomicBool` + `RwLock`), and the hook `Arc` is cloned out and the guard
+//! dropped **before** the hook runs — a std lock held across an instrumented
+//! decision would deadlock the cooperative scheduler.
+//!
+//! In production nothing is installed and [`hit`] is one relaxed atomic load.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// A durability step at which an injected crash can land.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Before buffering an append (the frame is lost entirely).
+    Append,
+    /// Before writing buffered bytes to the segment file.
+    Flush,
+    /// Before `fsync` of written bytes (written but possibly not durable).
+    Sync,
+    /// After a successful `fsync`, before the barrier returns (durable, but
+    /// the ack never travels).
+    AfterSync,
+    /// Before writing the checkpoint temp file.
+    CheckpointWrite,
+    /// After the temp file is durable, before the atomic rename.
+    CheckpointRename,
+    /// After the rename, before old segments/checkpoints are pruned.
+    CheckpointPrune,
+    /// Before appending the clean-shutdown seal record.
+    Seal,
+}
+
+impl fmt::Display for CrashPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            CrashPoint::Append => "append",
+            CrashPoint::Flush => "flush",
+            CrashPoint::Sync => "sync",
+            CrashPoint::AfterSync => "after-sync",
+            CrashPoint::CheckpointWrite => "checkpoint-write",
+            CrashPoint::CheckpointRename => "checkpoint-rename",
+            CrashPoint::CheckpointPrune => "checkpoint-prune",
+            CrashPoint::Seal => "seal",
+        };
+        f.write_str(name)
+    }
+}
+
+type Hook = Arc<dyn Fn(CrashPoint) -> bool + Send + Sync>;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static HOOK: RwLock<Option<Hook>> = RwLock::new(None);
+
+/// Install (or replace) the process-wide crash hook. The hook is only
+/// consulted while [`arm_crash_points`]`(true)` is in effect.
+pub fn install_crash_hook(hook: impl Fn(CrashPoint) -> bool + Send + Sync + 'static) {
+    let mut slot = HOOK.write().unwrap_or_else(|e| e.into_inner());
+    *slot = Some(Arc::new(hook));
+}
+
+/// Arm or disarm crash-point checks. Disarmed (the default) costs one
+/// relaxed load per durability step.
+pub fn arm_crash_points(on: bool) {
+    ARMED.store(on, Ordering::SeqCst);
+}
+
+/// Whether crash points are currently armed.
+#[must_use]
+pub fn crash_points_armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Consult the crash hook for `point`. Returns `true` when the injected
+/// crash fires and the caller must die.
+pub(crate) fn hit(point: CrashPoint) -> bool {
+    if !ARMED.load(Ordering::Relaxed) {
+        return false;
+    }
+    // Clone the hook out and release the std guard before invoking: the hook
+    // body may perform instrumented operations (scheduling decisions under
+    // ldp-check) and must not run under an uninstrumented lock.
+    let hook = {
+        let slot = HOOK.read().unwrap_or_else(|e| e.into_inner());
+        slot.clone()
+    };
+    match hook {
+        Some(hook) => hook(point),
+        None => false,
+    }
+}

@@ -1,0 +1,157 @@
+//! Segmented, checksummed write-ahead ingest log.
+//!
+//! `ldp-wal` gives the collector tier crash durability: the server appends
+//! every accepted ingest frame's columnar payload to the active segment
+//! *before* folding it, and only answers an `IngestSync` barrier after the
+//! covered bytes are `fsync`ed. Recovery replays surviving records through
+//! the normal ingest path, so the restarted collector's ledger, snapshots,
+//! and telemetry books match the pre-crash process exactly.
+//!
+//! Design constraints, in the same discipline as `crates/shims`:
+//!
+//! - std only, no registry dependencies, `#![forbid(unsafe_code)]`;
+//! - no internal locking: [`Wal`] takes `&mut self` everywhere and the
+//!   embedding layer chooses the synchronization primitive. This matters
+//!   because the server wraps the log in the `ldp_collector::sync` facade so
+//!   `ldp-check` can explore crash points as scheduling decisions — a std
+//!   mutex hidden inside this crate and held across an instrumented decision
+//!   would deadlock the cooperative scheduler.
+//!
+//! On-disk layout (`WalConfig::dir`):
+//!
+//! - `seg-<first-seq, zero padded>` — CRC-framed record segments, append-only;
+//! - `ck-<covered-seq, zero padded>` — checkpoint files: an opaque collector
+//!   state blob covering every record with `seq <= covered-seq`;
+//! - `*.tmp` — in-flight checkpoint writes, ignored (and removed) on open.
+//!
+//! See [`record`] for the record frame format and [`Wal`] for the recovery
+//! contract.
+
+#![forbid(unsafe_code)]
+
+mod fault;
+mod log;
+pub mod record;
+
+pub use fault::{arm_crash_points, crash_points_armed, install_crash_hook, CrashPoint};
+pub use log::{Recovered, RecoveredRecord, Wal, WalConfig};
+
+use std::fmt;
+use std::time::Duration;
+
+/// Errors surfaced by WAL operations.
+#[derive(Debug)]
+pub enum WalError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// Persistent state failed validation (bad magic, version, or checksum).
+    Corrupt(&'static str),
+    /// The log hit an injected crash point (or a prior fatal error) and
+    /// refuses further writes; the process is expected to die or restart.
+    Dead,
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io(err) => write!(f, "wal i/o error: {err}"),
+            WalError::Corrupt(what) => write!(f, "wal corrupt: {what}"),
+            WalError::Dead => write!(f, "wal is dead (injected crash or prior fatal error)"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WalError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WalError {
+    fn from(err: std::io::Error) -> Self {
+        WalError::Io(err)
+    }
+}
+
+/// Result alias for WAL operations.
+pub type WalResult<T> = Result<T, WalError>;
+
+/// When appended bytes are pushed to the kernel and `fsync`ed.
+///
+/// Both policies uphold the ack-implies-durable invariant: [`Wal::barrier`]
+/// always flushes and syncs, regardless of policy, and the server only sends
+/// `IngestAck` after a successful barrier. The policy governs what happens to
+/// *unacked* bytes between barriers:
+///
+/// - [`FlushPolicy::Barrier`] (default): appends buffer in memory; the only
+///   syncs are the ones barriers force. A crash loses at most the frames
+///   since the last barrier — exactly the frames no client was promised.
+/// - [`FlushPolicy::Batched`]: additionally group-commits during append
+///   streams — at most one sync per `interval`, amortized over every frame
+///   buffered since the previous sync. Bounds the *age* of unacked data at
+///   risk for fire-and-forget workloads that rarely barrier, at a cost that
+///   stays off the per-frame path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushPolicy {
+    /// Flush + `fsync` only at explicit sync barriers.
+    Barrier,
+    /// Barrier behavior plus a periodic group commit: an append whose
+    /// elapsed time since the last sync exceeds the interval triggers a
+    /// flush + `fsync` of everything buffered so far.
+    Batched(Duration),
+}
+
+impl FlushPolicy {
+    /// Parse the `LDP_WAL_FLUSH` environment knob.
+    ///
+    /// Accepted forms: `barrier` (the default), `batched:<nanos>`, or a bare
+    /// integer interpreted as nanoseconds (equivalent to `batched:<nanos>`).
+    /// Unparseable values fall back to [`FlushPolicy::Barrier`].
+    pub fn from_env() -> Self {
+        match std::env::var("LDP_WAL_FLUSH") {
+            Ok(raw) => Self::parse(&raw).unwrap_or(FlushPolicy::Barrier),
+            Err(_) => FlushPolicy::Barrier,
+        }
+    }
+
+    /// Parse a policy string; see [`FlushPolicy::from_env`] for the forms.
+    pub fn parse(raw: &str) -> Option<Self> {
+        let raw = raw.trim();
+        if raw.eq_ignore_ascii_case("barrier") {
+            return Some(FlushPolicy::Barrier);
+        }
+        let nanos = match raw.split_once(':') {
+            Some((head, tail)) if head.eq_ignore_ascii_case("batched") => tail.trim(),
+            Some(_) => return None,
+            None => raw,
+        };
+        nanos
+            .parse::<u64>()
+            .ok()
+            .map(|n| FlushPolicy::Batched(Duration::from_nanos(n)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flush_policy_parses() {
+        assert_eq!(FlushPolicy::parse("barrier"), Some(FlushPolicy::Barrier));
+        assert_eq!(FlushPolicy::parse("Barrier"), Some(FlushPolicy::Barrier));
+        assert_eq!(
+            FlushPolicy::parse("batched:2000000"),
+            Some(FlushPolicy::Batched(Duration::from_nanos(2_000_000)))
+        );
+        assert_eq!(
+            FlushPolicy::parse("1500"),
+            Some(FlushPolicy::Batched(Duration::from_nanos(1500)))
+        );
+        assert_eq!(FlushPolicy::parse("bogus:1"), None);
+        assert_eq!(FlushPolicy::parse("batched:x"), None);
+    }
+}

@@ -313,3 +313,65 @@ fn screening_on_the_routing_pass_allocates_nothing_either() {
     );
     assert!(collector.rejected_reports() > 0);
 }
+
+#[test]
+fn wal_batched_ingest_path_performs_zero_allocations() {
+    // The durability acceptance bar: with the WAL in batched flush mode,
+    // the per-frame path gains append → buffer-copy → (rare) flush and
+    // must stay allocation-free. A huge flush interval and segment size
+    // keep fsync, segment roll, and checkpoint out of the measured
+    // window; the WAL's own write buffer warms to its high-water capacity
+    // during warmup, after which appends only copy into it.
+    use ldp_server::durable::{self, FlushPolicy, WalConfig};
+    use std::time::Duration;
+
+    let dir = std::env::temp_dir().join(format!("ldp-alloc-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let wal_config = WalConfig::new(&dir)
+        .flush(FlushPolicy::Batched(Duration::from_secs(3600)))
+        .segment_bytes(1 << 30);
+    let (collector, durability, _) = durable::recover(
+        CollectorConfig {
+            shards: 4,
+            ..CollectorConfig::default()
+        },
+        wal_config,
+    )
+    .expect("fresh durable collector");
+
+    let batch = steady_batch(4096, 512, 64, 33);
+    let mut frame_buf = Vec::new();
+    let mut scratch = IngestScratch::default();
+    frame_buf.clear();
+    Frame::encode_ingest_into(&batch, &mut frame_buf);
+    let payload = &frame_buf[HEADER_LEN..];
+
+    // Warmup: user tables, routing scratch, and the WAL write buffer.
+    for _ in 0..8 {
+        let outcome = durability
+            .ingest_frame(&collector, payload, &mut scratch)
+            .expect("durable ingest");
+        assert_eq!(outcome.accepted, batch.len() as u64);
+    }
+
+    let before = allocation_events();
+    let mut accepted = 0u64;
+    for _ in 0..32 {
+        accepted += durability
+            .ingest_frame(&collector, payload, &mut scratch)
+            .expect("durable ingest")
+            .accepted;
+    }
+    let after = allocation_events();
+
+    assert_eq!(accepted, 32 * batch.len() as u64, "every report folded");
+    assert_eq!(
+        after - before,
+        0,
+        "WAL append (batched mode) → decode → fold must not touch the heap"
+    );
+    assert_eq!(durability.appended_records(), 40);
+
+    drop(durability);
+    let _ = std::fs::remove_dir_all(&dir);
+}

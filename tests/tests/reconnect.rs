@@ -4,8 +4,9 @@
 //! disabled the same drop is fatal. Pinned against a raw in-test
 //! listener so the test controls exactly which connections die.
 
+use ldp_collector::ReportBatch;
 use ldp_server::wire::HEADER_LEN;
-use ldp_server::{Frame, Header, ReconnectPolicy, RemoteCollector};
+use ldp_server::{Frame, Header, IngestLoss, ReconnectPolicy, RemoteCollector};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -153,6 +154,100 @@ fn retry_budget_is_bounded() {
         "1 initial + at most 2 retries per op (saw {})",
         server.accepted()
     );
+}
+
+/// Frame responder that acknowledges sync barriers: IngestSync →
+/// IngestAck{0,0,0}, pipelined ingest frames consumed silently,
+/// Goodbye/EOF → done. Models the fresh post-reconnect connection whose
+/// ledger never saw the lost frames.
+fn serve_empty_acks(mut stream: TcpStream) {
+    let mut header = [0u8; HEADER_LEN];
+    loop {
+        if stream.read_exact(&mut header).is_err() {
+            return;
+        }
+        let Ok(parsed) = Header::parse(&header) else {
+            return;
+        };
+        let mut payload = vec![0u8; parsed.payload_len as usize];
+        if stream.read_exact(&mut payload).is_err() || parsed.verify(&payload).is_err() {
+            return;
+        }
+        match Frame::decode_body(parsed.frame_type, &payload) {
+            Ok(Frame::IngestSync) => {
+                let ack = Frame::IngestAck {
+                    accepted: 0,
+                    dropped: 0,
+                    rejected: 0,
+                };
+                if stream.write_all(&ack.encode()).is_err() {
+                    return;
+                }
+            }
+            Ok(Frame::Goodbye) | Err(_) => return,
+            Ok(_) => {} // pipelined ingest: no reply expected
+        }
+    }
+}
+
+/// The reconnect satellite's sharp edge, fixed: pipelined ingest frames
+/// that died with the old connection are **not** silently re-acked by the
+/// replacement connection's fresh ledger — the first sync after the loss
+/// surfaces a typed [`IngestLoss`] with exact frame/row counts, and the
+/// cumulative accessors keep the books.
+#[test]
+fn lost_pipelined_ingest_surfaces_typed_error() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local addr");
+    let server = std::thread::spawn(move || {
+        // Connection 1: swallow exactly one framed message (the pipelined
+        // ingest), then hang up — the frame is gone, unacknowledged.
+        let (mut s1, _) = listener.accept().expect("accept 1");
+        let mut header = [0u8; HEADER_LEN];
+        s1.read_exact(&mut header).expect("ingest header");
+        let parsed = Header::parse(&header).expect("parse header");
+        let mut payload = vec![0u8; parsed.payload_len as usize];
+        s1.read_exact(&mut payload).expect("ingest payload");
+        drop(s1);
+        // Connection 2: the client's redial; serve empty acks.
+        let (s2, _) = listener.accept().expect("accept 2");
+        serve_empty_acks(s2);
+    });
+
+    let mut client = RemoteCollector::connect_with(
+        addr,
+        ReconnectPolicy {
+            max_retries: 3,
+            initial_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(20),
+        },
+    )
+    .expect("initial connect");
+
+    let mut batch = ReportBatch::new();
+    for user in 0..5u64 {
+        assert!(batch.push(user, 0, 0.5));
+    }
+    client.ingest(&batch).expect("pipelined write succeeds");
+
+    let err = client
+        .sync()
+        .expect_err("lost frames must not be silently acked");
+    let loss = err
+        .get_ref()
+        .and_then(|e| e.downcast_ref::<IngestLoss>())
+        .expect("error must downcast to IngestLoss");
+    assert_eq!(loss.lost_frames, 1, "one pipelined frame in flight");
+    assert_eq!(loss.lost_rows, 5, "its rows are counted");
+    assert_eq!(client.lost_frames(), 1, "cumulative frame ledger");
+    assert_eq!(client.lost_rows(), 5, "cumulative row ledger");
+
+    // The loss is reported once; the next sync proceeds against the
+    // replacement connection's (empty) ledger.
+    let outcome = client.sync().expect("post-loss sync proceeds");
+    assert_eq!(outcome.accepted, 0);
+    drop(client);
+    server.join().expect("server thread");
 }
 
 /// Backoff arithmetic: doubling from `initial` (attempts are 1-based),

@@ -464,3 +464,200 @@ mod checked_router {
         });
     }
 }
+
+// ====================================================================
+// Crash-point exploration: the durability protocol under every crash
+// the scheduler can reach. The WAL's instrumented crash points (append,
+// flush, fsync, checkpoint write/rename/prune, seal) are armed, a
+// checker-scheduled kill switch decides *where* the process "dies", and
+// recovery from the surviving bytes must always yield a collector that
+// is an exact prefix of the ingest history — every acked batch present,
+// nothing double-counted.
+// ====================================================================
+
+#[cfg(ldp_check)]
+mod checked_durability {
+    use super::*;
+    use ldp_collector::{Collector, CollectorConfig, ReportBatch};
+    use ldp_server::durable::{self, FlushPolicy, WalConfig};
+    use ldp_server::wire::{Frame, IngestScratch, HEADER_LEN};
+    use std::path::PathBuf;
+
+    const BATCHES: u64 = 4;
+    const ROWS: u64 = 12;
+
+    fn invariant_config(seed: u64) -> Config {
+        Config::default().executions(200).seed(seed)
+    }
+
+    /// The kill switch the crash hook reads. The slot itself is a plain
+    /// `std` lock (the hook must not create a scheduling point while
+    /// holding it); the flag inside is a **checker** atomic, so the
+    /// hook's load at each crash point *is* the scheduling decision the
+    /// explorer permutes against the killer thread's store.
+    #[allow(clippy::type_complexity)]
+    static KILL_SWITCH: std::sync::RwLock<Option<Arc<AtomicBool>>> = std::sync::RwLock::new(None);
+
+    fn install_hook_once() {
+        static ONCE: std::sync::Once = std::sync::Once::new();
+        ONCE.call_once(|| {
+            ldp_wal::install_crash_hook(|_point| {
+                let flag = KILL_SWITCH
+                    .read()
+                    .expect("kill-switch slot poisoned")
+                    .clone();
+                match flag {
+                    Some(flag) => flag.load(Ordering::Acquire),
+                    None => false,
+                }
+            });
+        });
+    }
+
+    /// Per-execution scratch directory. Deliberately a `std` counter:
+    /// naming must not consume scheduler decisions.
+    fn fresh_dir() -> PathBuf {
+        static NEXT: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("ldp-check-wal-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Serial fold order: recovered state must be bit-comparable to a
+    /// reference fold, so no ingest pool.
+    fn collector_config() -> CollectorConfig {
+        CollectorConfig {
+            shards: 3,
+            max_slots: 64,
+            ingest_workers: 0,
+            ..CollectorConfig::default()
+        }
+    }
+
+    /// Tiny segments + checkpoint-every-segment: a four-batch run crosses
+    /// segment rolls and checkpoints, so the explorer reaches every crash
+    /// point, not just append/sync.
+    fn wal_config(dir: &PathBuf) -> WalConfig {
+        WalConfig::new(dir)
+            .flush(FlushPolicy::Barrier)
+            .segment_bytes(256)
+            .checkpoint_segments(1)
+    }
+
+    fn batch(salt: u64) -> ReportBatch {
+        let mut b = ReportBatch::new();
+        for row in 0..ROWS {
+            b.push(
+                salt * 100 + row % 6,
+                row % 5,
+                ((salt * 13 + row) % 32) as f64 / 32.0,
+            );
+        }
+        b
+    }
+
+    fn ingest_payload(salt: u64) -> Vec<u8> {
+        let mut framed = Vec::new();
+        Frame::encode_ingest_into(&batch(salt), &mut framed);
+        framed[HEADER_LEN..].to_vec()
+    }
+
+    /// The acceptance invariant: under EVERY explored crash schedule,
+    /// recovery yields exactly the first `k` batches for some `k ≥` the
+    /// number of acked (barrier-completed) batches — bit-identical to a
+    /// reference fold of that prefix. No acked row lost, no row folded
+    /// twice, never a partial batch.
+    #[test]
+    fn every_crash_schedule_recovers_an_acked_prefix_exactly() {
+        install_hook_once();
+        ldp_wal::arm_crash_points(true);
+        check(
+            "wal-crash-point-recovery",
+            &invariant_config(0xDEAD),
+            || {
+                let dir = fresh_dir();
+                let flag = Arc::new(AtomicBool::new(false));
+                *KILL_SWITCH.write().expect("kill-switch slot poisoned") = Some(Arc::clone(&flag));
+
+                let (collector, durability, _) =
+                    durable::recover(collector_config(), wal_config(&dir)).expect("fresh recover");
+
+                // Writer: the server's per-frame protocol — append+fold, then
+                // barrier, then retention — counting batches whose barrier
+                // (the ack precondition) completed before the "machine died".
+                let writer = {
+                    let collector = Arc::clone(&collector);
+                    let durability = Arc::clone(&durability);
+                    thread::spawn(move || {
+                        let mut scratch = IngestScratch::default();
+                        let mut acked = 0u64;
+                        for salt in 0..BATCHES {
+                            let payload = ingest_payload(salt);
+                            if durability
+                                .ingest_frame(&collector, &payload, &mut scratch)
+                                .is_err()
+                            {
+                                break;
+                            }
+                            if durability.barrier().is_err() {
+                                break;
+                            }
+                            acked += 1;
+                            if durability.maybe_checkpoint(&collector).is_err() {
+                                break;
+                            }
+                        }
+                        acked
+                    })
+                };
+                // Killer: one checker-scheduled store. Every interleaving of
+                // this store with the writer's instrumented WAL operations is
+                // a distinct crash location.
+                let killer = {
+                    let flag = Arc::clone(&flag);
+                    thread::spawn(move || flag.store(true, Ordering::Release))
+                };
+                let acked = writer.join().unwrap();
+                killer.join().unwrap();
+                *KILL_SWITCH.write().expect("kill-switch slot poisoned") = None;
+
+                // Power loss on top of the crash: buffered bytes vanish, the
+                // active segment truncates to the fsync high-water mark.
+                let _ = durability.simulate_power_loss();
+                drop(durability);
+                drop(collector);
+
+                let (recovered, _, _) = durable::recover(collector_config(), wal_config(&dir))
+                    .expect("recovery must succeed from any crash point");
+                let total = recovered.total_reports();
+                assert_eq!(total % ROWS, 0, "a torn batch must never fold");
+                let k = total / ROWS;
+                assert!(k >= acked, "acked batch lost: {k} survived < {acked} acked");
+                assert!(k <= BATCHES, "phantom batches: {k} > {BATCHES} written");
+
+                let reference = Collector::new(collector_config());
+                for salt in 0..k {
+                    reference.ingest_outcome(&batch(salt));
+                }
+                assert_eq!(
+                    recovered.total_reports(),
+                    reference.total_reports(),
+                    "double-counted rows after recovery"
+                );
+                let (a, b) = (recovered.snapshot(), reference.snapshot());
+                let bits_a: Vec<u64> = a.per_user_means().iter().map(|m| m.to_bits()).collect();
+                let bits_b: Vec<u64> = b.per_user_means().iter().map(|m| m.to_bits()).collect();
+                assert_eq!(bits_a, bits_b, "recovered means must be bit-exact");
+                assert_eq!(
+                    a.windowed_mean(0..5).map(f64::to_bits),
+                    b.windowed_mean(0..5).map(f64::to_bits),
+                    "windowed mean bit-exact"
+                );
+                drop(recovered);
+                let _ = std::fs::remove_dir_all(&dir);
+            },
+        );
+        ldp_wal::arm_crash_points(false);
+    }
+}
